@@ -1,0 +1,58 @@
+"""Shared fixtures and the paper-style table reporter.
+
+Every experiment registers its result rows through ``record_row``; at
+the end of the session the rows are printed grouped by experiment, in
+the layout of the paper's tables, and also written to
+``benchmarks/results/<experiment>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+
+import pytest
+
+_RESULTS: dict[str, list[dict]] = defaultdict(list)
+_HEADERS: dict[str, list[str]] = {}
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture
+def record_row():
+    """Callable: record_row(experiment, headers, **row)."""
+
+    def record(experiment: str, headers: list[str], **row) -> None:
+        _HEADERS[experiment] = headers
+        _RESULTS[experiment].append(row)
+
+    return record
+
+
+def _format_table(experiment: str) -> str:
+    headers = _HEADERS[experiment]
+    rows = _RESULTS[experiment]
+    widths = [max(len(h), *(len(str(r.get(h, ""))) for r in rows))
+              for h in headers]
+    lines = [experiment]
+    lines.append("  " + "  ".join(h.ljust(w)
+                                  for h, w in zip(headers, widths)))
+    lines.append("  " + "  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  " + "  ".join(
+            str(row.get(h, "")).ljust(w) for h, w in zip(headers, widths)))
+    return "\n".join(lines)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULTS:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    terminalreporter.write_sep("=", "reproduced paper tables/figures")
+    for experiment in sorted(_RESULTS):
+        table = _format_table(experiment)
+        terminalreporter.write_line(table)
+        terminalreporter.write_line("")
+        safe = experiment.split(" ")[0].lower()
+        (RESULTS_DIR / f"{safe}.txt").write_text(table + "\n")

@@ -1,0 +1,88 @@
+"""E2 — where the speedup comes from (reconstructed Table 2).
+
+Ablation over the pipeline's feature switches, per kernel:
+
+* ``baseline``      — naive scalarized C (MATLAB-Coder analogue);
+* ``+scalar-opt``   — fused lowering + folding/propagation/fusion/CSE;
+* ``+SIMD``         — scalar-opt plus SIMD vectorization;
+* ``+complex``      — scalar-opt plus complex/MAC instruction selection;
+* ``full``          — everything (the proposed compiler).
+
+Shape checks: every feature is monotonically non-harmful, SIMD is the
+dominant contributor on streaming real kernels, and complex-arithmetic
+instructions only move complex kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from workloads import default_workloads, workload_by_name
+
+from repro.compiler import CompilerOptions, compile_source
+from repro.sim.machine import Simulator
+
+PROCESSOR = "vliw_simd_dsp"
+KERNELS = [w.name for w in default_workloads()]
+
+CONFIGS = {
+    "baseline": CompilerOptions.baseline(),
+    "+scalar-opt": CompilerOptions(simd=False, complex_isel=False,
+                                   scalar_mac=False),
+    "+SIMD": CompilerOptions(complex_isel=False, scalar_mac=False),
+    "+complex": CompilerOptions(simd=False),
+    "full": CompilerOptions(),
+}
+
+HEADERS = ["kernel"] + list(CONFIGS) + ["full_speedup"]
+
+
+def _cycles(workload, options, inputs, golden):
+    result = compile_source(workload.source, args=workload.arg_types,
+                            entry=workload.entry, processor=PROCESSOR,
+                            options=options)
+    run = Simulator(result.module, result.processor).run(list(inputs))
+    produced = np.asarray(run.outputs[0])
+    assert np.allclose(produced, golden, atol=workload.tolerance,
+                       rtol=workload.tolerance)
+    return run.report.total
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_e2_breakdown(kernel, benchmark, record_row):
+    workload = workload_by_name(kernel)
+    inputs = workload.inputs(seed=23)
+    golden = workload.golden(inputs)
+
+    def measure():
+        return {name: _cycles(workload, options, inputs, golden)
+                for name, options in CONFIGS.items()}
+
+    cycles = benchmark.pedantic(measure, rounds=1, iterations=1)
+    row = {name: cycles[name] for name in CONFIGS}
+    speedup = cycles["baseline"] / cycles["full"]
+    record_row("E2 cycle count by enabled feature (Table 2)",
+               HEADERS, kernel=kernel, full_speedup=f"{speedup:.2f}x",
+               **row)
+
+    # Each feature must not hurt relative to its base configuration
+    # (2% slack for second-order interactions).
+    assert cycles["+scalar-opt"] <= cycles["baseline"] * 1.02
+    assert cycles["+SIMD"] <= cycles["+scalar-opt"] * 1.02
+    assert cycles["+complex"] <= cycles["+scalar-opt"] * 1.02
+    assert cycles["full"] <= min(cycles["+SIMD"],
+                                 cycles["+complex"]) * 1.02
+
+    is_complex_kernel = kernel in ("cdot", "fft")
+    simd_gain = cycles["+scalar-opt"] / cycles["+SIMD"]
+    complex_gain = cycles["+scalar-opt"] / cycles["+complex"]
+    if kernel in ("fir", "xcorr", "matmul"):
+        assert simd_gain > 2.0, \
+            f"{kernel}: SIMD should dominate streaming kernels " \
+            f"({simd_gain:.2f})"
+        assert complex_gain < 1.6, \
+            f"{kernel}: complex instructions should barely move a real " \
+            f"kernel ({complex_gain:.2f})"
+    if is_complex_kernel:
+        assert complex_gain > 1.05, \
+            f"{kernel}: complex instructions should help ({complex_gain:.2f})"

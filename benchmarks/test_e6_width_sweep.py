@@ -1,0 +1,69 @@
+"""E6 — SIMD-width sweep (extension figure, per the 2017 follow-up).
+
+The same kernels are compiled against a parametric family of SIMD DSPs
+with 2/4/8/16 double-precision lanes.  Expected shape: speedup grows
+with lane count and saturates as fixed overheads (loop tails, memory
+issue slots, non-vectorizable stages) start to dominate — the classical
+diminishing-returns curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from workloads import workload_by_name
+
+from repro.asip.isa_library import simd_dsp_with_width
+from repro.compiler import CompilerOptions, compile_source
+from repro.sim.machine import Simulator
+
+WIDTHS = [2, 4, 8, 16]
+KERNELS = ["fir", "matmul", "xcorr"]
+
+HEADERS = ["kernel"] + [f"x{w}" for w in WIDTHS]
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_e6_width_sweep(kernel, benchmark, record_row):
+    workload = workload_by_name(kernel)
+    inputs = workload.inputs(seed=59)
+    golden = workload.golden(inputs)
+
+    def measure():
+        speedups = {}
+        for width in WIDTHS:
+            processor = simd_dsp_with_width(width)
+            optimized = compile_source(workload.source,
+                                       args=workload.arg_types,
+                                       entry=workload.entry,
+                                       processor=processor)
+            baseline = compile_source(workload.source,
+                                      args=workload.arg_types,
+                                      entry=workload.entry,
+                                      processor=processor,
+                                      options=CompilerOptions.baseline())
+            run_opt = Simulator(optimized.module, processor) \
+                .run(list(inputs))
+            run_base = Simulator(baseline.module, processor) \
+                .run(list(inputs))
+            produced = np.asarray(run_opt.outputs[0])
+            assert np.allclose(produced, golden, atol=workload.tolerance,
+                               rtol=workload.tolerance)
+            speedups[width] = run_base.report.total / run_opt.report.total
+        return speedups
+
+    speedups = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record_row("E6 speedup vs SIMD width (sweep figure)", HEADERS,
+               kernel=kernel,
+               **{f"x{w}": f"{speedups[w]:.2f}x" for w in WIDTHS})
+
+    # Monotone growth with diminishing returns.
+    for narrow, wide in zip(WIDTHS, WIDTHS[1:]):
+        assert speedups[wide] >= speedups[narrow] * 0.95, \
+            f"{kernel}: speedup dropped from x{narrow} to x{wide}"
+    assert speedups[16] > speedups[2] * 1.3, \
+        f"{kernel}: widening lanes 2->16 should pay off"
+    gain_lo = speedups[4] / speedups[2]
+    gain_hi = speedups[16] / speedups[8]
+    assert gain_hi <= gain_lo * 1.15, \
+        f"{kernel}: expected diminishing returns at wide lanes"

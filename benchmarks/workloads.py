@@ -1,0 +1,146 @@
+"""Benchmark kernel registry shared by every experiment (E1-E6).
+
+The six DSP kernels match the paper's evaluation style ("six DSP
+benchmarks"): streaming filters, complex arithmetic, a transform, and
+dense linear algebra, in the precisions a DSP ASIP would run them.
+Each workload knows how to build its argument type specs, generate
+deterministic inputs, and compute a golden reference via the
+numpy-backed MATLAB interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.compiler import arg
+from repro.mlab.interp import MatlabInterpreter
+from repro.semantics.types import MType
+
+KERNEL_DIR = Path(__file__).resolve().parent.parent / "examples" / "mlab"
+
+
+def kernel_source(name: str) -> str:
+    return (KERNEL_DIR / f"{name}.m").read_text()
+
+
+@dataclass
+class Workload:
+    """One benchmark kernel instance."""
+
+    name: str
+    entry: str
+    description: str
+    arg_types: list[MType]
+    make_inputs: Callable[[np.random.Generator], list[np.ndarray]]
+    tolerance: float = 1e-9
+    source: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.source:
+            self.source = kernel_source(self.entry)
+
+    def inputs(self, seed: int = 0) -> list[np.ndarray]:
+        return self.make_inputs(np.random.default_rng(seed))
+
+    def golden(self, inputs: list[np.ndarray]) -> np.ndarray:
+        interp = MatlabInterpreter(self.source)
+        return np.asarray(interp.call(self.entry, list(inputs))[0])
+
+
+def _rand(rng: np.random.Generator, shape, dtype=np.float64,
+          complex_valued=False):
+    data = rng.standard_normal(shape)
+    if complex_valued:
+        data = data + 1j * rng.standard_normal(shape)
+        return data.astype(np.complex128)
+    return data.astype(dtype)
+
+
+def default_workloads(scale: int = 1) -> list[Workload]:
+    """The six paper-style benchmarks at the default evaluation sizes.
+
+    ``scale`` multiplies the data sizes (used by sweep experiments).
+    """
+    n = 256 * scale
+    taps = 32
+    mat = 32
+    fft_n = 128 * scale  # must stay a power of two
+    while fft_n & (fft_n - 1):
+        fft_n -= 1
+
+    return [
+        Workload(
+            name="fir",
+            entry="fir",
+            description=f"FIR filter, {n} samples x {taps} taps (single)",
+            arg_types=[arg((1, n), dtype="single"),
+                       arg((1, taps), dtype="single")],
+            make_inputs=lambda rng, n=n, taps=taps: [
+                _rand(rng, (1, n), np.float32),
+                (_rand(rng, (1, taps)) / taps).astype(np.float32)],
+            tolerance=2e-4,
+        ),
+        Workload(
+            name="iir",
+            entry="iir_biquad",
+            description=f"biquad cascade IIR, {n} samples (double)",
+            arg_types=[arg((1, n)), arg((1, 3)), arg((1, 3))],
+            make_inputs=lambda rng, n=n: [
+                _rand(rng, (1, n)),
+                np.array([[0.2, 0.35, 0.2]]),
+                np.array([[1.0, -0.4, 0.15]])],
+            tolerance=1e-9,
+        ),
+        Workload(
+            name="cdot",
+            entry="cdot",
+            description=f"complex dot product, {n} points (complex double)",
+            arg_types=[arg((1, n), complex=True),
+                       arg((1, n), complex=True)],
+            make_inputs=lambda rng, n=n: [
+                _rand(rng, (1, n), complex_valued=True),
+                _rand(rng, (1, n), complex_valued=True)],
+            tolerance=1e-9,
+        ),
+        Workload(
+            name="fft",
+            entry="fft_spectrum",
+            description=f"power spectrum via radix-2 FFT, {fft_n} points",
+            arg_types=[arg((1, fft_n))],
+            make_inputs=lambda rng, fft_n=fft_n: [_rand(rng, (1, fft_n))],
+            tolerance=1e-8,
+        ),
+        Workload(
+            name="matmul",
+            entry="matmul",
+            description=f"matrix product {mat}x{mat} (single)",
+            arg_types=[arg((mat, mat), dtype="single"),
+                       arg((mat, mat), dtype="single")],
+            make_inputs=lambda rng, mat=mat: [
+                _rand(rng, (mat, mat), np.float32),
+                _rand(rng, (mat, mat), np.float32)],
+            tolerance=5e-3,
+        ),
+        Workload(
+            name="xcorr",
+            entry="xcorr_kernel",
+            description=f"cross-correlation, {n // 2} x {n} (single)",
+            arg_types=[arg((1, n // 2), dtype="single"),
+                       arg((1, n), dtype="single")],
+            make_inputs=lambda rng, n=n: [
+                _rand(rng, (1, n // 2), np.float32),
+                _rand(rng, (1, n), np.float32)],
+            tolerance=2e-3,
+        ),
+    ]
+
+
+def workload_by_name(name: str, scale: int = 1) -> Workload:
+    for workload in default_workloads(scale):
+        if workload.name == name:
+            return workload
+    raise KeyError(name)

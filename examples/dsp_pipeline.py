@@ -1,0 +1,83 @@
+"""A multi-function DSP application: channel filter + spectral peak.
+
+Shows that the compiler handles whole programs, not just single kernels:
+user helper functions are specialized per call signature, the compiler's
+MATLAB-source library kernels (filter, fft) are pulled in transparently,
+and the generated C contains one function per specialization.
+
+The application: low-pass-filter a noisy two-tone signal, window it,
+and locate the dominant spectral bin.
+
+Run:  python examples/dsp_pipeline.py
+"""
+
+import numpy as np
+
+from repro import MatlabInterpreter, arg, compile_source
+
+SOURCE = """
+function [peak_bin, peak_power] = tone_detect(x, b, a)
+% Filter, apply a Hann window, and find the dominant FFT bin.
+y = filter(b, a, x);
+w = hann_window(length(y));
+z = y .* w;
+P = power_spectrum(z);
+half = floor(length(P) / 2);
+[peak_power, peak_bin] = max(P(1:half));
+end
+
+function w = hann_window(n)
+w = zeros(1, n);
+for k = 1:n
+    w(k) = 0.5 - 0.5 * cos(2 * pi * (k - 1) / (n - 1));
+end
+end
+
+function P = power_spectrum(z)
+n = length(z);
+X = fft(z);
+P = zeros(1, n);
+for k = 1:n
+    P(k) = real(X(k)) * real(X(k)) + imag(X(k)) * imag(X(k));
+end
+end
+"""
+
+
+def main() -> None:
+    n = 256
+    fs = 1000.0
+    t = np.arange(n) / fs
+    tone = np.sin(2 * np.pi * 60.0 * t) + 0.5 * np.sin(2 * np.pi * 170.0 * t)
+    rng = np.random.default_rng(1)
+    x = (tone + 0.2 * rng.standard_normal(n)).reshape(1, -1)
+    # Simple low-pass biquad (passes 60 Hz, attenuates 170 Hz).
+    b = np.array([[0.0675, 0.1349, 0.0675]])
+    a = np.array([[1.0, -1.1430, 0.4128]])
+
+    args = [arg((1, n)), arg((1, 3)), arg((1, 3))]
+    result = compile_source(SOURCE, args=args, entry="tone_detect",
+                            processor="vliw_simd_dsp")
+
+    print("specialized functions in the generated module:")
+    for func in result.module.functions:
+        print(f"  {func.name}  (from {func.source_name})")
+
+    run = result.simulate([x, b, a])
+    peak_bin, peak_power = run.outputs
+    frequency = (peak_bin - 1) * fs / n
+
+    golden_bin, golden_power = MatlabInterpreter(SOURCE).call(
+        "tone_detect", [x, b, a], nargout=2)
+    golden_bin = float(np.asarray(golden_bin).ravel()[0])
+
+    print(f"\ndominant tone: bin {int(peak_bin)} = {frequency:.1f} Hz "
+          f"(power {peak_power:.1f})")
+    print(f"golden interpreter agrees: bin {int(golden_bin)}")
+    print(f"cycles on vliw_simd_dsp: {run.report.total}")
+    assert int(peak_bin) == int(golden_bin)
+    assert abs(frequency - 60.0) < fs / n + 1e-9, "expected the 60 Hz tone"
+
+
+if __name__ == "__main__":
+    main()

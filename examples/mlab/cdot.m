@@ -1,0 +1,9 @@
+function s = cdot(a, b)
+% Complex dot product s = a' * b (conjugated first argument):
+% the complex multiply-accumulate exercises the cmac/cconj unit.
+n = length(a);
+s = 0;
+for k = 1:n
+    s = s + conj(a(k)) * b(k);
+end
+end

@@ -1,0 +1,10 @@
+function P = fft_spectrum(x)
+% Power spectrum |FFT(x)|.^2 via the radix-2 FFT and the |z|^2 idiom
+% (maps to the cmag2 custom instruction).
+n = length(x);
+X = fft(x);
+P = zeros(1, n);
+for k = 1:n
+    P(k) = real(X(k)) * real(X(k)) + imag(X(k)) * imag(X(k));
+end
+end

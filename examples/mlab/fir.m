@@ -1,0 +1,15 @@
+function y = fir(x, h)
+% FIR filter, direct form: y(n) = sum_k h(k) * x(n-k+1).
+% The inner multiply-accumulate loop is the classic SIMD target.
+N = length(x);
+M = length(h);
+y = zeros(1, N);
+for n = 1:N
+    acc = 0;
+    kmax = min(n, M);
+    for k = 1:kmax
+        acc = acc + h(k) * x(n - k + 1);
+    end
+    y(n) = acc;
+end
+end

@@ -1,0 +1,28 @@
+function y = iir_biquad(x, b, a)
+% Cascade of two identical direct-form-I biquad sections.
+% The loop-carried recurrence on y blocks vectorization, so this
+% kernel anchors the low end of the speedup range.
+N = length(x);
+w = zeros(1, N);
+y = zeros(1, N);
+for n = 1:N
+    acc = b(1) * x(n);
+    if n > 1
+        acc = acc + b(2) * x(n - 1) - a(2) * w(n - 1);
+    end
+    if n > 2
+        acc = acc + b(3) * x(n - 2) - a(3) * w(n - 2);
+    end
+    w(n) = acc;
+end
+for n = 1:N
+    acc = b(1) * w(n);
+    if n > 1
+        acc = acc + b(2) * w(n - 1) - a(2) * y(n - 1);
+    end
+    if n > 2
+        acc = acc + b(3) * w(n - 2) - a(3) * y(n - 2);
+    end
+    y(n) = acc;
+end
+end

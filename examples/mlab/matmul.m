@@ -1,0 +1,5 @@
+function C = matmul(A, B)
+% Dense matrix product. Lowered in jki order: the innermost loop
+% walks contiguous columns, which the SIMD vectorizer strip-mines.
+C = A * B;
+end

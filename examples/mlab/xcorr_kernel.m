@@ -1,0 +1,14 @@
+function r = xcorr_kernel(x, y)
+% Cross-correlation for non-negative lags:
+% r(m) = sum_n x(n) * y(n + m - 1).
+N = length(x);
+L = length(y) - N + 1;
+r = zeros(1, L);
+for m = 1:L
+    acc = 0;
+    for n = 1:N
+        acc = acc + x(n) * y(n + m - 1);
+    end
+    r(m) = acc;
+end
+end

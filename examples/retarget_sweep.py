@@ -1,0 +1,83 @@
+"""Retargeting: one MATLAB source, many processor descriptions.
+
+Demonstrates the paper's central claim — the specialized instruction set
+is described "in a parameterized way allowing the support of any
+processor".  The same complex-dot-product source is compiled for the
+three shipped targets plus a *user-defined* ASIP assembled inline from
+the instruction-set building blocks, with no compiler changes.
+
+Run:  python examples/retarget_sweep.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    CompilerOptions,
+    CostTable,
+    MatlabInterpreter,
+    ProcessorDescription,
+    arg,
+    compile_source,
+    load_processor,
+    make_complex_instruction_set,
+    make_simd_instruction_set,
+)
+from repro.ir.types import ScalarKind
+
+KERNEL = Path(__file__).parent / "mlab" / "cdot.m"
+
+
+def my_custom_asip() -> ProcessorDescription:
+    """A user-authored target: narrow SIMD + a strong complex unit."""
+    instructions = []
+    instructions += make_simd_instruction_set(ScalarKind.C128, 2,
+                                              mac_cycles=1)
+    instructions += make_complex_instruction_set(ScalarKind.C128,
+                                                 mul_cycles=1, mac_cycles=1)
+    return ProcessorDescription(
+        name="my_custom_asip",
+        description="example user-defined target: complex-MAC-heavy",
+        costs=CostTable(load=1, store=1),
+        instructions=instructions,
+    )
+
+
+def main() -> None:
+    source = KERNEL.read_text()
+    n = 256
+    args = [arg((1, n), complex=True), arg((1, n), complex=True)]
+
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal((1, n)) + 1j * rng.standard_normal((1, n))
+    b = rng.standard_normal((1, n)) + 1j * rng.standard_normal((1, n))
+    golden = complex(np.asarray(
+        MatlabInterpreter(source).call("cdot", [a, b])[0]).ravel()[0])
+
+    targets = [load_processor("generic_scalar_dsp"),
+               load_processor("vliw_simd_dsp"),
+               load_processor("wide_simd_dsp"),
+               my_custom_asip()]
+
+    print(f"complex dot product, {n} points — same source, four targets\n")
+    print(f"{'target':<22} {'baseline':>10} {'optimized':>10} "
+          f"{'speedup':>8}  key instructions")
+    for processor in targets:
+        optimized = compile_source(source, args=args, processor=processor)
+        baseline = compile_source(source, args=args, processor=processor,
+                                  options=CompilerOptions.baseline())
+        run_opt = optimized.simulate([a, b])
+        run_base = baseline.simulate([a, b])
+        assert abs(run_opt.outputs[0] - golden) < 1e-9 * n
+        mix = sorted(run_opt.report.instruction_counts.items(),
+                     key=lambda kv: -kv[1])[:2]
+        mix_text = ", ".join(f"{k} x{v}" for k, v in mix) or "(none)"
+        print(f"{processor.name:<22} {run_base.report.total:>10} "
+              f"{run_opt.report.total:>10} "
+              f"{run_base.report.total / run_opt.report.total:>7.2f}x"
+              f"  {mix_text}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Retargetable MATLAB-to-C compiler exploiting ASIP custom "
+        "instructions (DATE 2016 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro-mc = repro.cli:main"]},
+)

@@ -1,0 +1,60 @@
+"""repro — a retargetable MATLAB-to-C compiler for ASIPs.
+
+Reproduction of "Matlab to C Compilation Targeting Application Specific
+Instruction Set Processors" (Latifis et al., DATE 2016).
+
+Quickstart::
+
+    from repro import compile_source, arg
+
+    result = compile_source(matlab_text, args=[arg((1, 256))])
+    print(result.c_source())                 # ANSI C with intrinsics
+    outputs = result.simulate([x]).outputs   # cycle-accurate ASIP run
+"""
+
+from repro.asip.isa_library import available_processors, load_processor
+from repro.asip.model import (
+    CostTable,
+    Instruction,
+    ProcessorDescription,
+    make_complex_instruction_set,
+    make_simd_instruction_set,
+)
+from repro.compiler import (
+    CompilationResult,
+    CompilerOptions,
+    arg,
+    compile_source,
+)
+from repro.errors import (
+    CompileError,
+    LexError,
+    ParseError,
+    ReproError,
+    SemanticError,
+    UnsupportedFeatureError,
+)
+from repro.mlab.interp import MatlabInterpreter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilationResult",
+    "CompileError",
+    "CompilerOptions",
+    "CostTable",
+    "Instruction",
+    "LexError",
+    "MatlabInterpreter",
+    "ParseError",
+    "ProcessorDescription",
+    "ReproError",
+    "SemanticError",
+    "UnsupportedFeatureError",
+    "arg",
+    "available_processors",
+    "compile_source",
+    "load_processor",
+    "make_complex_instruction_set",
+    "make_simd_instruction_set",
+]

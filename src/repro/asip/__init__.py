@@ -1,0 +1,1 @@
+"""Parameterized ASIP processor descriptions and intrinsics."""

@@ -1,0 +1,202 @@
+"""Ready-made processor descriptions.
+
+Three targets ship with the compiler, spanning the retargetability axis
+the paper demonstrates:
+
+* :func:`generic_scalar_dsp` — a plain scalar DSP with no custom
+  instructions.  Optimized and baseline code coincide on it (modulo
+  scalar IR cleanups), which anchors the speedup comparison.
+* :func:`vliw_simd_dsp` — the analogue of the paper's evaluation target:
+  a DSP-oriented ASIP with 8-lane single / 4-lane double SIMD and scalar
+  complex-arithmetic instructions.
+* :func:`wide_simd_dsp` — a wider hypothetical variant (16/8 lanes, SIMD
+  complex) used by the vector-width sweep experiment.
+
+All three share the same scalar :class:`~repro.asip.model.CostTable`, so
+differences between targets isolate the custom-instruction effect.
+"""
+
+from __future__ import annotations
+
+from repro.asip.model import (
+    CostTable,
+    Instruction,
+    ProcessorDescription,
+    make_complex_instruction_set,
+    make_simd_instruction_set,
+)
+from repro.ir.types import ScalarKind
+
+
+def generic_scalar_dsp() -> ProcessorDescription:
+    """A scalar load/store DSP without custom instructions."""
+    return ProcessorDescription(
+        name="generic_scalar_dsp",
+        description="baseline scalar DSP; no SIMD, no complex arithmetic",
+        costs=CostTable(),
+        instructions=[
+            # A classic DSP still has a scalar MAC unit.
+            Instruction(
+                name="mac_f64",
+                operation="mac",
+                elem=ScalarKind.F64,
+                lanes=1,
+                cycles=1,
+                intrinsic="asip_mac_f64",
+                description="scalar fused multiply-accumulate",
+            ),
+            Instruction(
+                name="mac_f32",
+                operation="mac",
+                elem=ScalarKind.F32,
+                lanes=1,
+                cycles=1,
+                intrinsic="asip_mac_f32",
+                description="scalar fused multiply-accumulate",
+            ),
+        ],
+    )
+
+
+def vliw_simd_dsp() -> ProcessorDescription:
+    """The paper-target analogue: SIMD + complex-arithmetic ASIP."""
+    instructions: list[Instruction] = []
+    instructions += make_simd_instruction_set(ScalarKind.F32, 8)
+    instructions += make_simd_instruction_set(ScalarKind.F64, 4)
+    instructions += make_simd_instruction_set(ScalarKind.I16, 8)
+    instructions += make_simd_instruction_set(ScalarKind.I32, 8)
+    # The same 256-bit datapath carries complex lanes (re/im pairs).
+    instructions += make_simd_instruction_set(ScalarKind.C64, 4,
+                                              load_cycles=2, alu_cycles=2,
+                                              mac_cycles=2, reduce_cycles=3)
+    instructions += make_simd_instruction_set(ScalarKind.C128, 2,
+                                              load_cycles=2, alu_cycles=2,
+                                              mac_cycles=2, reduce_cycles=3)
+    instructions += make_complex_instruction_set(ScalarKind.C64)
+    instructions += make_complex_instruction_set(ScalarKind.C128)
+    instructions += [
+        Instruction(
+            name="mac_f64",
+            operation="mac",
+            elem=ScalarKind.F64,
+            lanes=1,
+            cycles=1,
+            intrinsic="asip_mac_f64",
+            description="scalar fused multiply-accumulate",
+        ),
+        Instruction(
+            name="mac_f32",
+            operation="mac",
+            elem=ScalarKind.F32,
+            lanes=1,
+            cycles=1,
+            intrinsic="asip_mac_f32",
+            description="scalar fused multiply-accumulate",
+        ),
+        Instruction(
+            name="clip_f64",
+            operation="clip",
+            elem=ScalarKind.F64,
+            lanes=1,
+            cycles=1,
+            intrinsic="asip_clip_f64",
+            description="saturate to [lo, hi]",
+        ),
+        Instruction(
+            name="clip_f32",
+            operation="clip",
+            elem=ScalarKind.F32,
+            lanes=1,
+            cycles=1,
+            intrinsic="asip_clip_f32",
+            description="saturate to [lo, hi]",
+        ),
+    ]
+    return ProcessorDescription(
+        name="vliw_simd_dsp",
+        description=(
+            "DSP-oriented ASIP with 8x f32 / 4x f64 SIMD datapath and "
+            "scalar complex-arithmetic unit (paper evaluation target "
+            "analogue)"
+        ),
+        costs=CostTable(),
+        instructions=instructions,
+    )
+
+
+def wide_simd_dsp() -> ProcessorDescription:
+    """A wider variant: 16x f32 / 8x f64 SIMD, plus SIMD complex ops."""
+    instructions: list[Instruction] = []
+    instructions += make_simd_instruction_set(ScalarKind.F32, 16)
+    instructions += make_simd_instruction_set(ScalarKind.F32, 8)
+    instructions += make_simd_instruction_set(ScalarKind.F64, 8)
+    instructions += make_simd_instruction_set(ScalarKind.F64, 4)
+    instructions += make_complex_instruction_set(ScalarKind.C64)
+    instructions += make_complex_instruction_set(ScalarKind.C128)
+    instructions += make_simd_instruction_set(ScalarKind.C128, 4,
+                                              load_cycles=3, alu_cycles=2,
+                                              mac_cycles=2, reduce_cycles=3)
+    instructions += make_simd_instruction_set(ScalarKind.C64, 8,
+                                              load_cycles=3, alu_cycles=2,
+                                              mac_cycles=2, reduce_cycles=3)
+    instructions += [
+        Instruction(
+            name="mac_f64",
+            operation="mac",
+            elem=ScalarKind.F64,
+            lanes=1,
+            cycles=1,
+            intrinsic="asip_mac_f64",
+            description="scalar fused multiply-accumulate",
+        ),
+    ]
+    return ProcessorDescription(
+        name="wide_simd_dsp",
+        description="wide-SIMD ASIP variant with SIMD complex arithmetic",
+        costs=CostTable(),
+        instructions=instructions,
+    )
+
+
+def simd_dsp_with_width(lanes_f64: int) -> ProcessorDescription:
+    """A parametric family used by the vector-width sweep (E6).
+
+    A ``w``-lane double datapath also exposes its narrower power-of-two
+    sub-widths (as real vector ISAs do), plus twice the lanes in single
+    precision.
+    """
+    instructions: list[Instruction] = []
+    width = lanes_f64
+    while width >= 2:
+        instructions += make_simd_instruction_set(ScalarKind.F64, width)
+        instructions += make_simd_instruction_set(ScalarKind.F32, width * 2)
+        width //= 2
+    instructions += make_complex_instruction_set(ScalarKind.C128)
+    instructions += make_complex_instruction_set(ScalarKind.C64)
+    return ProcessorDescription(
+        name=f"simd_dsp_w{lanes_f64}",
+        description=f"parametric SIMD DSP, {lanes_f64}x f64 lanes",
+        costs=CostTable(),
+        instructions=instructions,
+    )
+
+
+_LIBRARY = {
+    "generic_scalar_dsp": generic_scalar_dsp,
+    "vliw_simd_dsp": vliw_simd_dsp,
+    "wide_simd_dsp": wide_simd_dsp,
+}
+
+
+def available_processors() -> list[str]:
+    return sorted(_LIBRARY)
+
+
+def load_processor(name: str) -> ProcessorDescription:
+    """Instantiate a shipped processor description by name."""
+    try:
+        return _LIBRARY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown processor {name!r}; available: "
+            f"{', '.join(available_processors())}") from None

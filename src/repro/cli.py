@@ -1,0 +1,206 @@
+"""``repro-mc`` — the command-line compiler driver.
+
+Examples::
+
+    # Compile fir.m for the default SIMD ASIP and write fir.c
+    repro-mc fir.m --args "double:1x256,double:1x16" -o fir.c
+
+    # Baseline (MATLAB-Coder-style) code instead
+    repro-mc fir.m --args "double:1x256,double:1x16" --baseline -o fir_base.c
+
+    # Inspect the optimized IR and the selected custom instructions
+    repro-mc fir.m --args "double:1x256,double:1x16" --dump-ir
+
+    # List shipped processor descriptions
+    repro-mc --list-processors
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.asip.isa_library import available_processors, load_processor
+from repro.compiler import CompilerOptions, arg as make_arg, compile_source
+from repro.errors import ReproError
+from repro.semantics.types import dtype_from_name
+
+
+def parse_arg_spec(spec: str):
+    """Parse one ``dtype:RxC`` argument spec (``cdouble`` = complex)."""
+    spec = spec.strip()
+    if ":" in spec:
+        dtype_name, shape_text = spec.split(":", 1)
+    else:
+        dtype_name, shape_text = spec, "1x1"
+    dtype_name = dtype_name.strip()
+    is_complex = dtype_name.startswith("c") and \
+        dtype_from_name(dtype_name[1:]) is not None
+    if is_complex:
+        dtype_name = dtype_name[1:]
+    if dtype_from_name(dtype_name) is None:
+        raise ValueError(f"unknown dtype in argument spec {spec!r}")
+    try:
+        rows_text, cols_text = shape_text.lower().split("x")
+        shape = (int(rows_text), int(cols_text))
+    except ValueError:
+        raise ValueError(f"bad shape in argument spec {spec!r}; "
+                         "expected ROWSxCOLS") from None
+    return make_arg(shape, dtype=dtype_name, complex=is_complex)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mc",
+        description="Retargetable MATLAB-to-C compiler for ASIPs "
+                    "(DATE 2016 reproduction)")
+    parser.add_argument("source", nargs="?", help="MATLAB source file (.m)")
+    parser.add_argument("--args", default="",
+                        help="comma-separated entry argument specs, e.g. "
+                             "'double:1x256,cdouble:1x64,double:1x1'")
+    parser.add_argument("--entry", default=None,
+                        help="entry function name (default: first function)")
+    parser.add_argument("--processor", default="vliw_simd_dsp",
+                        help="target processor description name")
+    parser.add_argument("--baseline", action="store_true",
+                        help="MATLAB-Coder-style baseline pipeline")
+    parser.add_argument("--no-simd", action="store_true",
+                        help="disable SIMD vectorization")
+    parser.add_argument("--no-complex", action="store_true",
+                        help="disable complex-instruction selection")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write generated C to this file "
+                             "(default: stdout)")
+    parser.add_argument("--dump-ir", action="store_true",
+                        help="print the final IR instead of C")
+    parser.add_argument("--simulate", action="store_true",
+                        help="run the compiled entry on deterministic "
+                             "random inputs and print the cycle report")
+    parser.add_argument("--compare-baseline", action="store_true",
+                        help="with --simulate: also run the baseline "
+                             "pipeline and report the speedup")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="random seed for --simulate inputs")
+    parser.add_argument("--emit-header", action="store_true",
+                        help="print only the intrinsics header")
+    parser.add_argument("--list-processors", action="store_true",
+                        help="list shipped processor descriptions")
+    parser.add_argument("--describe-processor", action="store_true",
+                        help="print the target's instruction table")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_processors:
+        for name in available_processors():
+            print(name)
+        return 0
+    if options.describe_processor:
+        print(load_processor(options.processor).summary())
+        return 0
+    if options.emit_header and options.source is None:
+        from repro.asip.header_gen import generate_header
+        text = generate_header(load_processor(options.processor))
+        _write_output(text, options.output)
+        return 0
+    if options.source is None:
+        parser.error("a MATLAB source file is required")
+
+    try:
+        with open(options.source) as handle:
+            source = handle.read()
+    except OSError as exc:
+        print(f"repro-mc: cannot read {options.source}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    try:
+        specs = [parse_arg_spec(s) for s in options.args.split(",") if s]
+    except ValueError as exc:
+        print(f"repro-mc: {exc}", file=sys.stderr)
+        return 1
+
+    pipeline = CompilerOptions.baseline() if options.baseline \
+        else CompilerOptions(simd=not options.no_simd,
+                             complex_isel=not options.no_complex)
+    try:
+        result = compile_source(source, args=specs, entry=options.entry,
+                                processor=options.processor,
+                                options=pipeline,
+                                filename=options.source)
+    except ReproError as exc:
+        print(f"repro-mc: error: {exc}", file=sys.stderr)
+        return 1
+
+    if options.simulate:
+        return _simulate(result, source, specs, options)
+
+    if options.dump_ir:
+        text = result.ir_dump()
+    elif options.emit_header:
+        text = result.intrinsics_header()
+    else:
+        text = result.c_source()
+    _write_output(text, options.output)
+    return 0
+
+
+def _simulate(result, source: str, specs, options) -> int:
+    """Run the compiled entry on random inputs; print the cycle report."""
+    import numpy as np
+
+    from repro.ir.types import ArrayType, ScalarType
+    from repro.sim.machine import numpy_dtype
+
+    rng = np.random.default_rng(options.seed)
+    inputs = []
+    for param in result.module.entry_function.params:
+        if isinstance(param.type, ArrayType):
+            data = rng.standard_normal(param.type.numel)
+            if param.type.elem.is_complex:
+                data = data + 1j * rng.standard_normal(param.type.numel)
+            inputs.append(data.astype(
+                numpy_dtype(param.type.elem.kind)))
+        else:
+            inputs.append(float(rng.standard_normal()))
+
+    run = result.simulate(inputs)
+    print(f"entry: {result.entry_name} on {result.processor.name} "
+          f"(seed {options.seed})")
+    print(f"cycles: {run.report.total}")
+    for category in sorted(run.report.by_category):
+        print(f"  {category:<10} {run.report.by_category[category]}")
+    if run.report.instruction_counts:
+        print("custom instructions:")
+        for name in sorted(run.report.instruction_counts):
+            print(f"  {name:<20} x{run.report.instruction_counts[name]}")
+    else:
+        print("custom instructions: (none selected)")
+
+    if options.compare_baseline:
+        baseline = compile_source(source, args=specs,
+                                  entry=options.entry,
+                                  processor=options.processor,
+                                  options=CompilerOptions.baseline())
+        base_run = baseline.simulate(inputs)
+        speedup = base_run.report.total / max(run.report.total, 1)
+        print(f"baseline cycles: {base_run.report.total}")
+        print(f"speedup: {speedup:.2f}x")
+    return 0
+
+
+def _write_output(text: str, path: str | None) -> None:
+    if path is None:
+        sys.stdout.write(text)
+        if not text.endswith("\n"):
+            sys.stdout.write("\n")
+    else:
+        with open(path, "w") as handle:
+            handle.write(text)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

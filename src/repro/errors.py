@@ -1,0 +1,47 @@
+"""Exception hierarchy shared by all compiler stages."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class CompileError(ReproError):
+    """A user-facing compilation failure (syntax, types, shapes, lowering)."""
+
+
+class LexError(CompileError):
+    """Tokenization failure."""
+
+
+class ParseError(CompileError):
+    """Syntactic failure."""
+
+
+class SemanticError(CompileError):
+    """Type/shape inference or symbol resolution failure."""
+
+
+class UnsupportedFeatureError(CompileError):
+    """The program uses MATLAB features outside the supported subset."""
+
+
+class LoweringError(CompileError):
+    """AST-to-IR lowering failure."""
+
+
+class BackendError(ReproError):
+    """C emission failure (indicates a compiler bug, not a user error)."""
+
+
+class SimulationError(ReproError):
+    """The IR executor / cycle simulator hit an inconsistency."""
+
+
+class InterpreterError(ReproError):
+    """The golden MATLAB interpreter hit a runtime error in user code."""
+
+
+class IsaError(ReproError):
+    """Invalid processor description."""

@@ -1,0 +1,1 @@
+"""MATLAB frontend: lexer, parser, AST, diagnostics."""

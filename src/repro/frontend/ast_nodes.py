@@ -1,0 +1,265 @@
+"""Abstract syntax tree for the MATLAB subset.
+
+Nodes are plain dataclasses.  Indexing and function calls are *not*
+distinguished by the parser (MATLAB's ``f(x)`` is ambiguous until symbols
+are resolved); both parse to :class:`CallIndex` and semantic analysis
+classifies each occurrence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend.source import Span
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    span: Span
+
+    def children(self) -> list["Node"]:
+        """Child nodes, for generic traversal."""
+        out: list[Node] = []
+        for name in self.__dataclass_fields__:
+            if name == "span":
+                continue
+            value = getattr(self, name)
+            if isinstance(value, Node):
+                out.append(value)
+            elif isinstance(value, list):
+                out.extend(v for v in value if isinstance(v, Node))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class NumberLit(Expr):
+    value: float
+    is_integer: bool = False
+
+
+@dataclass
+class ImagLit(Expr):
+    value: float  # imaginary part
+
+
+@dataclass
+class StringLit(Expr):
+    value: str
+
+
+@dataclass
+class Identifier(Expr):
+    name: str
+
+
+@dataclass
+class EndMarker(Expr):
+    """The ``end`` keyword used inside an indexing expression."""
+
+
+@dataclass
+class ColonAll(Expr):
+    """A bare ``:`` subscript selecting a whole dimension."""
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str  # '-', '+', '~'
+    operand: Expr
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str  # '+', '-', '*', '.*', '/', './', '\\', '.\\', '^', '.^',
+    #          '==', '~=', '<', '<=', '>', '>=', '&', '|', '&&', '||'
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Transpose(Expr):
+    operand: Expr
+    conjugate: bool  # True for ', False for .'
+
+
+@dataclass
+class Range(Expr):
+    """``start:stop`` or ``start:step:stop``."""
+
+    start: Expr
+    stop: Expr
+    step: Expr | None = None
+
+
+@dataclass
+class MatrixLit(Expr):
+    """``[a b; c d]`` — a list of rows, each a list of element exprs."""
+
+    rows: list[list[Expr]] = field(default_factory=list)
+
+
+@dataclass
+class CallIndex(Expr):
+    """``f(args)`` — call or paren-index, disambiguated semantically."""
+
+    target: Expr
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class AnonFunc(Expr):
+    """``@(x, y) expr`` — stateless anonymous function."""
+
+    params: list[str] = field(default_factory=list)
+    body: Expr | None = None
+
+
+@dataclass
+class FuncHandle(Expr):
+    """``@name`` — a handle to a named function."""
+
+    name: str = ""
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+    suppressed: bool = True  # ';'-terminated (no display)
+
+
+@dataclass
+class Assign(Stmt):
+    """``lhs = rhs`` where lhs is an Identifier or CallIndex (indexed store)."""
+
+    target: Expr
+    value: Expr
+    suppressed: bool = True
+
+
+@dataclass
+class MultiAssign(Stmt):
+    """``[a, b] = f(...)`` — multiple return values."""
+
+    targets: list[Expr]
+    value: Expr
+    suppressed: bool = True
+
+
+@dataclass
+class If(Stmt):
+    """``if/elseif/else`` chain: branches are (condition, body) pairs."""
+
+    branches: list[tuple[Expr, list[Stmt]]]
+    else_body: list[Stmt] = field(default_factory=list)
+
+    def children(self) -> list[Node]:
+        out: list[Node] = []
+        for cond, body in self.branches:
+            out.append(cond)
+            out.extend(body)
+        out.extend(self.else_body)
+        return out
+
+
+@dataclass
+class For(Stmt):
+    var: str
+    iterable: Expr
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    condition: Expr
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Switch(Stmt):
+    """``switch/case/otherwise``; each case is (match-expr, body)."""
+
+    subject: Expr
+    cases: list[tuple[Expr, list[Stmt]]] = field(default_factory=list)
+    otherwise: list[Stmt] = field(default_factory=list)
+
+    def children(self) -> list[Node]:
+        out: list[Node] = [self.subject]
+        for match, body in self.cases:
+            out.append(match)
+            out.extend(body)
+        out.extend(self.otherwise)
+        return out
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    pass
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Function(Node):
+    """One ``function`` definition."""
+
+    name: str
+    params: list[str]
+    returns: list[str]
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    """A parsed file: one or more functions, or a script body."""
+
+    functions: list[Function] = field(default_factory=list)
+    script: list[Stmt] = field(default_factory=list)
+
+    @property
+    def is_script(self) -> bool:
+        return bool(self.script)
+
+    def main_function(self) -> Function | None:
+        return self.functions[0] if self.functions else None
+
+
+def walk(node: Node):
+    """Yield ``node`` and all descendants in pre-order."""
+    yield node
+    for child in node.children():
+        yield from walk(child)

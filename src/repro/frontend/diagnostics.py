@@ -1,0 +1,69 @@
+"""Diagnostics: errors and warnings with source locations.
+
+All compiler stages report problems through a :class:`DiagnosticEngine`;
+fatal problems raise :class:`CompileError` carrying the rendered message.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+from repro.frontend.source import SourceFile, Span
+
+
+class Severity(enum.Enum):
+    NOTE = "note"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    severity: Severity
+    message: str
+    span: Span
+    stage: str = ""
+
+    def render(self, source: SourceFile | None = None) -> str:
+        where = self.span.filename
+        if source is not None:
+            line, col = source.line_col(self.span.start)
+            where = f"{where}:{line}:{col}"
+        head = f"{where}: {self.severity.value}: {self.message}"
+        if source is not None:
+            return head + "\n" + source.excerpt(self.span)
+        return head
+
+
+@dataclass
+class DiagnosticEngine:
+    """Collects diagnostics for one compilation; raises on error by default."""
+
+    source: SourceFile | None = None
+    fatal_errors: bool = True
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def error(self, message: str, span: Span, stage: str = "") -> None:
+        diag = Diagnostic(Severity.ERROR, message, span, stage)
+        self.diagnostics.append(diag)
+        if self.fatal_errors:
+            raise CompileError(diag.render(self.source))
+
+    def warning(self, message: str, span: Span, stage: str = "") -> None:
+        self.diagnostics.append(Diagnostic(Severity.WARNING, message, span, stage))
+
+    def note(self, message: str, span: Span, stage: str = "") -> None:
+        self.diagnostics.append(Diagnostic(Severity.NOTE, message, span, stage))
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.WARNING)
+
+    def render_all(self) -> str:
+        return "\n".join(d.render(self.source) for d in self.diagnostics)

@@ -1,0 +1,273 @@
+"""Tokenizer for the MATLAB subset.
+
+Handles the classically awkward corners of MATLAB lexing:
+
+* single-quote is *transpose* after a value-like token and a *string
+  delimiter* elsewhere (``a'`` vs ``'a'``), with ``''`` as the in-string
+  escape;
+* ``...`` swallows the rest of the line and the newline (continuation);
+* ``%`` line comments and ``%{``/``%}`` block comments;
+* imaginary literals ``3i`` / ``2.5e-1j``;
+* ``1.`` / ``.5`` numeric forms, and the ``1.^2`` ambiguity (the ``.``
+  binds to the operator, not the number, when followed by an operator
+  character — matching MATLAB);
+* ``space_before`` flags so the parser can resolve ``[1 -2]`` vs
+  ``[1 - 2]``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.frontend.source import SourceFile, Span
+from repro.frontend.tokens import KEYWORDS, TRANSPOSE_CONTEXT, Token, TokenKind
+
+_OPERATOR_CHARS = "*/\\^'"  # chars that can follow '.' to form an operator
+
+
+class Lexer:
+    """Converts MATLAB source text into a token stream."""
+
+    def __init__(self, source: SourceFile | str):
+        if isinstance(source, str):
+            source = SourceFile(source)
+        self.source = source
+        self.text = source.text
+        self.pos = 0
+        self.tokens: list[Token] = []
+        self._space_pending = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def tokenize(self) -> list[Token]:
+        """Tokenize the whole file, appending a final EOF token."""
+        while self.pos < len(self.text):
+            self._scan_one()
+        self._emit(TokenKind.EOF, self.pos, self.pos)
+        return self.tokens
+
+    # ------------------------------------------------------------------
+    # Scanning machinery
+    # ------------------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> str:
+        i = self.pos + ahead
+        return self.text[i] if i < len(self.text) else ""
+
+    def _emit(self, kind: TokenKind, start: int, end: int, value: object = None) -> None:
+        token = Token(
+            kind=kind,
+            text=self.text[start:end],
+            span=Span(start, end, self.source.filename),
+            value=value,
+            space_before=self._space_pending,
+        )
+        self.tokens.append(token)
+        self._space_pending = False
+
+    def _last_kind(self) -> TokenKind | None:
+        for token in reversed(self.tokens):
+            return token.kind
+        return None
+
+    def _error(self, message: str, start: int) -> LexError:
+        line, col = self.source.line_col(start)
+        return LexError(f"{self.source.filename}:{line}:{col}: {message}")
+
+    def _scan_one(self) -> None:
+        ch = self._peek()
+
+        if ch in " \t\r":
+            self.pos += 1
+            self._space_pending = True
+            return
+        if ch == "\n":
+            self._emit(TokenKind.NEWLINE, self.pos, self.pos + 1)
+            self.pos += 1
+            return
+        if ch == "%":
+            self._scan_comment()
+            return
+        if self.text.startswith("...", self.pos):
+            self._scan_continuation()
+            return
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            self._scan_number()
+            return
+        if ch.isalpha() or ch == "_":
+            self._scan_ident()
+            return
+        if ch == "'":
+            if self._last_kind() in TRANSPOSE_CONTEXT and not self._space_pending:
+                self._emit(TokenKind.QUOTE, self.pos, self.pos + 1)
+                self.pos += 1
+            else:
+                self._scan_string()
+            return
+        self._scan_operator()
+
+    def _scan_comment(self) -> None:
+        # Block comment: '%{' alone on a line opens, '%}' alone closes.
+        line_start = self.text.rfind("\n", 0, self.pos) + 1
+        before = self.text[line_start:self.pos]
+        if self.text.startswith("%{", self.pos) and before.strip() == "":
+            self._scan_block_comment()
+            return
+        end = self.text.find("\n", self.pos)
+        self.pos = len(self.text) if end < 0 else end  # keep the newline token
+
+    def _scan_block_comment(self) -> None:
+        start = self.pos
+        depth = 0
+        i = self.pos
+        while i < len(self.text):
+            nl = self.text.find("\n", i)
+            line = self.text[i:nl if nl >= 0 else len(self.text)].strip()
+            if line == "%{":
+                depth += 1
+            elif line == "%}":
+                depth -= 1
+                if depth == 0:
+                    self.pos = nl + 1 if nl >= 0 else len(self.text)
+                    self._space_pending = True
+                    return
+            if nl < 0:
+                break
+            i = nl + 1
+        raise self._error("unterminated block comment", start)
+
+    def _scan_continuation(self) -> None:
+        # '...' swallows the rest of the line and its newline.
+        end = self.text.find("\n", self.pos)
+        self.pos = len(self.text) if end < 0 else end + 1
+        self._space_pending = True
+
+    def _scan_number(self) -> None:
+        start = self.pos
+        i = self.pos
+        text = self.text
+        while i < len(text) and text[i].isdigit():
+            i += 1
+        is_float = False
+        if i < len(text) and text[i] == ".":
+            # '1.^2' etc: the dot belongs to the operator, not the number.
+            nxt = text[i + 1] if i + 1 < len(text) else ""
+            if not (nxt and nxt in _OPERATOR_CHARS):
+                is_float = True
+                i += 1
+                while i < len(text) and text[i].isdigit():
+                    i += 1
+        if i < len(text) and text[i] in "eEdD":  # MATLAB accepts 1d3 too
+            j = i + 1
+            if j < len(text) and text[j] in "+-":
+                j += 1
+            if j < len(text) and text[j].isdigit():
+                is_float = True
+                i = j
+                while i < len(text) and text[i].isdigit():
+                    i += 1
+        literal = text[start:i].replace("d", "e").replace("D", "E")
+        if i < len(text) and text[i] in "ij" and not self._ident_continues(i + 1):
+            i += 1
+            self._emit(TokenKind.IMAG_NUMBER, start, i, float(literal))
+        elif is_float:
+            self._emit(TokenKind.NUMBER, start, i, float(literal))
+        else:
+            self._emit(TokenKind.INT_NUMBER, start, i, int(literal))
+        self.pos = i
+
+    def _ident_continues(self, i: int) -> bool:
+        if i >= len(self.text):
+            return False
+        ch = self.text[i]
+        return ch.isalnum() or ch == "_"
+
+    def _scan_ident(self) -> None:
+        start = self.pos
+        i = self.pos
+        while i < len(self.text) and (self.text[i].isalnum() or self.text[i] == "_"):
+            i += 1
+        name = self.text[start:i]
+        kind = KEYWORDS.get(name, TokenKind.IDENT)
+        self._emit(kind, start, i, name if kind is TokenKind.IDENT else None)
+        self.pos = i
+
+    def _scan_string(self) -> None:
+        start = self.pos
+        i = self.pos + 1
+        chars: list[str] = []
+        while i < len(self.text):
+            ch = self.text[i]
+            if ch == "\n":
+                raise self._error("unterminated string literal", start)
+            if ch == "'":
+                if self.text[i + 1:i + 2] == "'":  # '' escapes a quote
+                    chars.append("'")
+                    i += 2
+                    continue
+                i += 1
+                self._emit(TokenKind.STRING, start, i, "".join(chars))
+                self.pos = i
+                return
+            chars.append(ch)
+            i += 1
+        raise self._error("unterminated string literal", start)
+
+    _TWO_CHAR = {
+        ".*": TokenKind.DOT_STAR,
+        "./": TokenKind.DOT_SLASH,
+        ".\\": TokenKind.DOT_BACKSLASH,
+        ".^": TokenKind.DOT_CARET,
+        ".'": TokenKind.DOT_QUOTE,
+        "==": TokenKind.EQ,
+        "~=": TokenKind.NEQ,
+        "<=": TokenKind.LE,
+        ">=": TokenKind.GE,
+        "&&": TokenKind.AMP_AMP,
+        "||": TokenKind.PIPE_PIPE,
+    }
+
+    _ONE_CHAR = {
+        "+": TokenKind.PLUS,
+        "-": TokenKind.MINUS,
+        "*": TokenKind.STAR,
+        "/": TokenKind.SLASH,
+        "\\": TokenKind.BACKSLASH,
+        "^": TokenKind.CARET,
+        "=": TokenKind.ASSIGN,
+        "<": TokenKind.LT,
+        ">": TokenKind.GT,
+        "&": TokenKind.AMP,
+        "|": TokenKind.PIPE,
+        "~": TokenKind.TILDE,
+        ":": TokenKind.COLON,
+        ",": TokenKind.COMMA,
+        ";": TokenKind.SEMICOLON,
+        "(": TokenKind.LPAREN,
+        ")": TokenKind.RPAREN,
+        "[": TokenKind.LBRACKET,
+        "]": TokenKind.RBRACKET,
+        "{": TokenKind.LBRACE,
+        "}": TokenKind.RBRACE,
+        "@": TokenKind.AT,
+        ".": TokenKind.DOT,
+    }
+
+    def _scan_operator(self) -> None:
+        two = self.text[self.pos:self.pos + 2]
+        if two in self._TWO_CHAR:
+            self._emit(self._TWO_CHAR[two], self.pos, self.pos + 2)
+            self.pos += 2
+            return
+        one = self._peek()
+        kind = self._ONE_CHAR.get(one)
+        if kind is None:
+            raise self._error(f"unexpected character {one!r}", self.pos)
+        self._emit(kind, self.pos, self.pos + 1)
+        self.pos += 1
+
+
+def tokenize(source: SourceFile | str) -> list[Token]:
+    """Convenience wrapper: tokenize ``source`` and return the token list."""
+    return Lexer(source).tokenize()

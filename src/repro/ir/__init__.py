@@ -1,0 +1,1 @@
+"""Mid-level IR: nodes, types, lowering, verification."""

@@ -1,0 +1,1 @@
+"""IR-to-IR optimization passes."""

@@ -1,0 +1,152 @@
+"""Dead-code elimination.
+
+Removes assignments to scalar variables that are never read (and are not
+function outputs), loops and copies producing arrays that are never read
+(and are not outputs), and unused local declarations.  Iterates naturally
+with the pass manager: removing one dead assignment can make another's
+operands dead in the next round.
+"""
+
+from __future__ import annotations
+
+from repro.ir import nodes as ir
+from repro.ir.passes.rewrite import loaded_arrays, stored_arrays, used_vars
+from repro.ir.types import ArrayType
+
+
+class DeadCodeElimination:
+    name = "dce"
+
+    def run(self, func: ir.IRFunction) -> bool:
+        changed = False
+        keep = {p.name for p in func.outputs}
+        keep.update(p.name for p in func.params)
+
+        live_scalars = used_vars(func.body) | keep
+        live_arrays = loaded_arrays(func.body) | keep
+
+        self._func_body = func.body
+        changed |= self._sweep(func.body, live_scalars, live_arrays)
+
+        # Drop locals that no statement mentions any more.
+        still_assigned = self._mentioned_names(func.body)
+        for name in list(func.locals):
+            if name in keep:
+                continue
+            if name not in still_assigned and name not in live_scalars and \
+                    name not in live_arrays:
+                del func.locals[name]
+                changed = True
+        return changed
+
+    def _mentioned_names(self, body: list[ir.Stmt]) -> set[str]:
+        names: set[str] = set()
+        for stmt in ir.walk_statements(body):
+            if isinstance(stmt, ir.AssignVar):
+                names.add(stmt.name)
+            elif isinstance(stmt, (ir.Store, ir.VecStore)):
+                names.add(stmt.array)
+            elif isinstance(stmt, ir.ForRange):
+                names.add(stmt.var)
+            elif isinstance(stmt, ir.CopyArray):
+                names.add(stmt.dst)
+                names.add(stmt.src)
+            elif isinstance(stmt, ir.Call):
+                names.update(stmt.results)
+                names.update(a for a in stmt.args if isinstance(a, str))
+            for expr in ir.statement_exprs(stmt):
+                for node in ir.walk_expr(expr):
+                    if isinstance(node, ir.VarRef):
+                        names.add(node.name)
+                    elif isinstance(node, (ir.Load, ir.VecLoad)):
+                        names.add(node.array)
+        return names
+
+    def _sweep(self, body: list[ir.Stmt], live_scalars: set[str],
+               live_arrays: set[str]) -> bool:
+        changed = False
+        index = 0
+        while index < len(body):
+            stmt = body[index]
+            remove = False
+            if isinstance(stmt, ir.AssignVar):
+                if stmt.name not in live_scalars and \
+                        self._is_pure(stmt.value):
+                    remove = True
+            elif isinstance(stmt, ir.CopyArray):
+                if stmt.dst not in live_arrays:
+                    remove = True
+            elif isinstance(stmt, ir.ForRange):
+                changed |= self._sweep(stmt.body, live_scalars, live_arrays)
+                if self._loop_only_writes_dead(stmt, live_arrays,
+                                               live_scalars):
+                    remove = True
+            elif isinstance(stmt, (ir.While, ir.If)):
+                for sub in stmt.substatements():
+                    changed |= self._sweep(sub, live_scalars, live_arrays)
+                if isinstance(stmt, ir.If) and not stmt.then_body and \
+                        not stmt.else_body:
+                    remove = True
+            if remove:
+                del body[index]
+                changed = True
+            else:
+                index += 1
+        return changed
+
+    def _var_used_outside(self, loop: ir.ForRange) -> bool:
+        """Is the loop variable read anywhere outside the loop's body?
+
+        Reads inside another loop that redefines the name as its own
+        induction variable don't count.
+        """
+        name = loop.var
+
+        def count(body: list[ir.Stmt]) -> int:
+            total = 0
+            for stmt in body:
+                if stmt is loop:
+                    continue
+                for expr in ir.statement_exprs(stmt):
+                    for node in ir.walk_expr(expr):
+                        if isinstance(node, ir.VarRef) and \
+                                node.name == name:
+                            total += 1
+                if isinstance(stmt, ir.ForRange) and stmt.var == name:
+                    continue
+                for sub in stmt.substatements():
+                    total += count(sub)
+            return total
+
+        return count(self._func_body) > 0
+
+    def _is_pure(self, expr: ir.Expr) -> bool:
+        return not any(isinstance(node, ir.IntrinsicCall)
+                       for node in ir.walk_expr(expr))
+
+    def _loop_only_writes_dead(self, loop: ir.ForRange,
+                               live_arrays: set[str],
+                               live_scalars: set[str]) -> bool:
+        """A loop whose only effects are writes to dead targets is dead.
+
+        The induction variable itself is an effect: MATLAB leaves it
+        holding its final value, so a loop variable read *outside* the
+        loop keeps the loop.
+        """
+        if self._var_used_outside(loop):
+            return False
+        if not loop.body:
+            return True
+        for stmt in ir.walk_statements(loop.body):
+            if isinstance(stmt, (ir.Emit, ir.Call, ir.IntrinsicStmt,
+                                 ir.Return, ir.Break, ir.Continue,
+                                 ir.While)):
+                return False
+            if isinstance(stmt, (ir.Store, ir.VecStore)) and \
+                    stmt.array in live_arrays:
+                return False
+            if isinstance(stmt, ir.CopyArray) and stmt.dst in live_arrays:
+                return False
+            if isinstance(stmt, ir.AssignVar) and stmt.name in live_scalars:
+                return False
+        return True

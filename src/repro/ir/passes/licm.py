@@ -1,0 +1,84 @@
+"""Loop-invariant code motion (conservative).
+
+Hoists scalar assignments out of ``ForRange`` loops when the right-hand
+side is pure, reads no arrays, depends only on variables the loop does
+not modify, and the loop provably runs at least once (constant bounds) —
+so a variable read after the loop still holds the same value.
+"""
+
+from __future__ import annotations
+
+from repro.ir import nodes as ir
+from repro.ir.passes.rewrite import assigned_vars
+
+
+class LoopInvariantCodeMotion:
+    name = "licm"
+
+    def run(self, func: ir.IRFunction) -> bool:
+        return self._walk(func.body)
+
+    def _walk(self, body: list[ir.Stmt]) -> bool:
+        changed = False
+        index = 0
+        while index < len(body):
+            stmt = body[index]
+            for sub in stmt.substatements():
+                changed |= self._walk(sub)
+            if isinstance(stmt, ir.ForRange):
+                hoisted = self._hoist_from(stmt)
+                if hoisted:
+                    body[index:index] = hoisted
+                    index += len(hoisted)
+                    changed = True
+            index += 1
+        return changed
+
+    def _hoist_from(self, loop: ir.ForRange) -> list[ir.Stmt]:
+        if not self._runs_at_least_once(loop):
+            return []
+        loop_writes = assigned_vars(loop.body) | {loop.var}
+        hoisted: list[ir.Stmt] = []
+        # Only a prefix of the body may be hoisted: later statements may
+        # depend on values the loop computes.
+        while loop.body:
+            stmt = loop.body[0]
+            if not isinstance(stmt, ir.AssignVar):
+                break
+            # The full loop-write set includes the statement's own
+            # target: an accumulator whose RHS reads itself
+            # (acc = acc + inv) is NOT invariant even though every
+            # other operand is.
+            if not self._invariant(stmt.value, loop_writes):
+                break
+            if self._assign_count(loop.body, stmt.name) != 1:
+                break
+            hoisted.append(loop.body.pop(0))
+        return hoisted
+
+    def _runs_at_least_once(self, loop: ir.ForRange) -> bool:
+        if not (isinstance(loop.start, ir.Const) and
+                isinstance(loop.stop, ir.Const)):
+            return False
+        if loop.step > 0:
+            return loop.start.value < loop.stop.value
+        return loop.start.value > loop.stop.value
+
+    def _invariant(self, expr: ir.Expr, loop_writes: set[str]) -> bool:
+        for node in ir.walk_expr(expr):
+            if isinstance(node, (ir.Load, ir.VecLoad, ir.IntrinsicCall)):
+                return False
+            if isinstance(node, ir.VarRef) and node.name in loop_writes:
+                return False
+        return True
+
+    def _assign_count(self, body: list[ir.Stmt], name: str) -> int:
+        count = 0
+        for stmt in ir.walk_statements(body):
+            if isinstance(stmt, ir.AssignVar) and stmt.name == name:
+                count += 1
+            elif isinstance(stmt, ir.ForRange) and stmt.var == name:
+                count += 1
+            elif isinstance(stmt, ir.Call) and name in stmt.results:
+                count += 1
+        return count

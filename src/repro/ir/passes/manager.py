@@ -1,0 +1,88 @@
+"""Pass manager for IR-to-IR optimization passes.
+
+A pass is any object with ``name`` and ``run(func: IRFunction) -> bool``
+(returning True when it changed something).  The manager runs its pass
+list over every function of a module repeatedly until a fixpoint, with a
+safety bound.  The standard pipelines used by the compiler driver live
+here so the ablation benchmarks can switch them off selectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.ir import nodes as ir
+
+
+class Pass(Protocol):  # pragma: no cover - typing only
+    name: str
+
+    def run(self, func: ir.IRFunction) -> bool: ...
+
+
+@dataclass
+class PassManager:
+    """Runs a pass pipeline to fixpoint over an IR module."""
+
+    passes: list[Pass] = field(default_factory=list)
+    max_rounds: int = 8
+
+    def run(self, module: ir.IRModule) -> dict[str, int]:
+        """Run all passes; returns per-pass change counts (diagnostics)."""
+        stats: dict[str, int] = {}
+        for func in module.functions:
+            for _ in range(self.max_rounds):
+                changed = False
+                for pass_ in self.passes:
+                    if pass_.run(func):
+                        changed = True
+                        stats[pass_.name] = stats.get(pass_.name, 0) + 1
+                if not changed:
+                    break
+        return stats
+
+
+def standard_pipeline() -> PassManager:
+    """Pre-vectorization scalar pipeline.
+
+    Deliberately excludes CSE: CSE introduces scalar index temporaries
+    inside loop bodies that would hide the store/reduction patterns the
+    SIMD vectorizer matches.  CSE belongs in :func:`cleanup_pipeline`,
+    which runs after instruction selection.
+    """
+    from repro.ir.passes.constant_folding import ConstantFolding
+    from repro.ir.passes.dce import DeadCodeElimination
+    from repro.ir.passes.licm import LoopInvariantCodeMotion
+    from repro.ir.passes.loop_fusion import LoopFusion
+    from repro.ir.passes.propagation import ConstantPropagation
+
+    return PassManager(passes=[
+        ConstantPropagation(),
+        ConstantFolding(),
+        LoopFusion(),
+        LoopInvariantCodeMotion(),
+        DeadCodeElimination(),
+    ])
+
+
+def cleanup_pipeline() -> PassManager:
+    """Post-vectorization cleanup: folding, CSE, DCE."""
+    from repro.ir.passes.constant_folding import ConstantFolding
+    from repro.ir.passes.cse import CommonSubexpressionElimination
+    from repro.ir.passes.dce import DeadCodeElimination
+    from repro.ir.passes.propagation import ConstantPropagation
+
+    return PassManager(passes=[
+        ConstantPropagation(),
+        ConstantFolding(),
+        CommonSubexpressionElimination(),
+        DeadCodeElimination(),
+    ])
+
+
+def minimal_pipeline() -> PassManager:
+    """Folding only — used by ablation variants."""
+    from repro.ir.passes.constant_folding import ConstantFolding
+
+    return PassManager(passes=[ConstantFolding()], max_rounds=2)

@@ -1,0 +1,1 @@
+"""Golden MATLAB interpreter (numpy-backed reference model)."""

@@ -1,0 +1,81 @@
+"""MATLAB value helpers for the golden interpreter.
+
+Every numeric value is a 2-D numpy array (scalars are 1x1), mirroring
+MATLAB; character data is carried as Python ``str``.  Helpers implement
+MATLAB's coercion and display conventions needed by the interpreter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InterpreterError
+
+MValue = "np.ndarray | str"
+
+
+def to_value(obj) -> np.ndarray | str:
+    """Coerce a Python/numpy object to an interpreter value."""
+    if isinstance(obj, str):
+        return obj
+    if isinstance(obj, bool):
+        return np.atleast_2d(np.asarray(obj, dtype=np.bool_))
+    array = np.atleast_2d(np.asarray(obj))
+    if array.dtype.kind in "ui":
+        array = array.astype(np.float64)
+    return array
+
+
+def is_scalar(value) -> bool:
+    return isinstance(value, np.ndarray) and value.size == 1
+
+
+def scalar_of(value) -> float | complex:
+    if isinstance(value, str):
+        raise InterpreterError("expected a numeric scalar, got a string")
+    if value.size != 1:
+        raise InterpreterError(
+            f"expected a scalar, got a {value.shape[0]}x{value.shape[1]} "
+            "array")
+    item = value.reshape(-1)[0]
+    if np.iscomplexobj(value):
+        return complex(item)
+    return float(item)
+
+
+def truthy(value) -> bool:
+    """MATLAB if/while semantics: true when non-empty and all non-zero."""
+    if isinstance(value, str):
+        return len(value) > 0
+    if value.size == 0:
+        return False
+    return bool(np.all(value != 0))
+
+
+def index_vector(value, extent: int) -> np.ndarray:
+    """Convert a subscript value to 0-based integer indices."""
+    if isinstance(value, str):
+        raise InterpreterError("strings cannot be used as subscripts")
+    if value.dtype == np.bool_:
+        flat = value.reshape(-1, order="F")
+        if flat.size > extent:
+            raise InterpreterError("logical index is longer than the "
+                                   "indexed dimension")
+        return np.nonzero(flat)[0]
+    flat = value.reshape(-1, order="F")
+    if np.iscomplexobj(flat):
+        raise InterpreterError("subscripts must be real")
+    indices = flat.astype(np.int64)
+    if not np.allclose(flat.real, indices):
+        raise InterpreterError("subscripts must be integers")
+    if indices.size and indices.min() < 1:
+        raise InterpreterError("subscripts must be >= 1")
+    return indices - 1
+
+
+def display(name: str, value) -> str:
+    """Rough MATLAB-style display used for unsuppressed statements."""
+    if isinstance(value, str):
+        return f"{name} =\n    '{value}'\n"
+    with np.printoptions(precision=4, suppress=True):
+        return f"{name} =\n{value}\n"

@@ -1,0 +1,1 @@
+"""Semantic analysis: types, shapes, builtins, inference."""

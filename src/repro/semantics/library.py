@@ -1,0 +1,199 @@
+"""Compiler-library functions written in MATLAB.
+
+``fft``/``ifft``/``conv``/``filter`` are lowered not by hand-written IR
+templates but by *MATLAB source shipped with the compiler*: when user
+code calls one of them, the inferencer specializes the library source
+exactly like a user function (value-specializing on lengths), and every
+later stage — optimization, vectorization, instruction selection — sees
+plain loops it already knows how to handle.  This mirrors how production
+MATLAB-to-C flows bootstrap their runtime, and means the SIMD vectorizer
+applies to library kernels for free.
+
+The sources below use only the supported subset.  Orientation-generic
+code (row vs column results) relies on compile-time branch pruning: with
+concrete input shapes, ``size(x, 1) > 1`` is a constant and the dead
+branch is discarded before it can confuse shape inference.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse
+
+#: MATLAB sources of the library kernels, keyed by the public name.
+LIBRARY_SOURCES: dict[str, str] = {
+    "fft": """
+function y = fft(x)
+% Iterative radix-2 DIT FFT.  Each stage fills a twiddle table and then
+% runs butterflies over contiguous index ranges, so the hot loops are
+% unit-stride and SIMD-vectorizable on complex-capable targets.
+n = length(x);
+if size(x, 1) > 1
+    y = complex(zeros(n, 1), zeros(n, 1));
+else
+    y = complex(zeros(1, n), zeros(1, n));
+end
+W = complex(zeros(1, n), zeros(1, n));
+% Bit-reversed copy via the classic j-update walk (O(1) amortized per
+% element; no per-bit mod/floor arithmetic in the hot path).
+jj = 1;
+for i = 1:n
+    y(jj) = x(i);
+    m = floor(n / 2);
+    while m >= 1 && jj > m
+        jj = jj - m;
+        m = floor(m / 2);
+    end
+    jj = jj + m;
+end
+len = 2;
+while len <= n
+    half = len / 2;
+    ang = -2 * pi / len;
+    for s = 1:half
+        W(s) = complex(cos(ang * (s - 1)), sin(ang * (s - 1)));
+    end
+    base = 0;
+    while base < n
+        for s = 1:half
+            a = y(base + s);
+            bb = y(base + half + s) * W(s);
+            y(base + s) = a + bb;
+            y(base + half + s) = a - bb;
+        end
+        base = base + len;
+    end
+    len = len * 2;
+end
+end
+""",
+    "ifft": """
+function y = ifft(x)
+% Inverse radix-2 FFT: conjugate twiddles plus a 1/n scaling pass.
+n = length(x);
+if size(x, 1) > 1
+    y = complex(zeros(n, 1), zeros(n, 1));
+else
+    y = complex(zeros(1, n), zeros(1, n));
+end
+W = complex(zeros(1, n), zeros(1, n));
+% Bit-reversed copy via the classic j-update walk (O(1) amortized per
+% element; no per-bit mod/floor arithmetic in the hot path).
+jj = 1;
+for i = 1:n
+    y(jj) = x(i);
+    m = floor(n / 2);
+    while m >= 1 && jj > m
+        jj = jj - m;
+        m = floor(m / 2);
+    end
+    jj = jj + m;
+end
+len = 2;
+while len <= n
+    half = len / 2;
+    ang = 2 * pi / len;
+    for s = 1:half
+        W(s) = complex(cos(ang * (s - 1)), sin(ang * (s - 1)));
+    end
+    base = 0;
+    while base < n
+        for s = 1:half
+            a = y(base + s);
+            bb = y(base + half + s) * W(s);
+            y(base + s) = a + bb;
+            y(base + half + s) = a - bb;
+        end
+        base = base + len;
+    end
+    len = len * 2;
+end
+scale = 1 / n;
+for i = 1:n
+    y(i) = y(i) * scale;
+end
+end
+""",
+    "conv": """
+function y = conv(x, h)
+n = length(x);
+m = length(h);
+L = n + m - 1;
+if size(x, 1) > 1 && size(h, 1) > 1
+    y = zeros(L, 1);
+else
+    y = zeros(1, L);
+end
+for k = 1:L
+    acc = 0;
+    jlo = max(1, k - m + 1);
+    jhi = min(k, n);
+    for jj = jlo:jhi
+        acc = acc + x(jj) * h(k - jj + 1);
+    end
+    y(k) = acc;
+end
+end
+""",
+    "filter": """
+function y = filter(b, a, x)
+n = length(x);
+nb = length(b);
+na = length(a);
+if size(x, 1) > 1
+    y = zeros(n, 1);
+else
+    y = zeros(1, n);
+end
+a0 = a(1);
+for i = 1:n
+    acc = 0;
+    kmax = min(i, nb);
+    for k = 1:kmax
+        acc = acc + b(k) * x(i - k + 1);
+    end
+    jmax = min(i - 1, na - 1);
+    for jj = 1:jmax
+        acc = acc - a(jj + 1) * y(i - jj);
+    end
+    y(i) = acc / a0;
+end
+end
+""",
+}
+
+
+def check_precondition(name: str, arg_types) -> str | None:
+    """Compile-time preconditions of library kernels.
+
+    Returns an error message when ``name`` cannot be specialized on
+    ``arg_types`` (e.g. the radix-2 FFT needs a power-of-two length).
+    """
+    if name in ("fft", "ifft") and arg_types:
+        n = arg_types[0].shape.numel()
+        if n is not None and n > 1 and n & (n - 1):
+            return (f"{name}(): length {n} is not a power of two "
+                    "(radix-2 implementation)")
+    if name == "filter" and len(arg_types) == 3:
+        if arg_types[1].shape.numel() == 0:
+            return "filter(): denominator coefficient vector is empty"
+    return None
+
+
+@lru_cache(maxsize=None)
+def _parse_library_function(name: str) -> ast.Function:
+    program = parse(LIBRARY_SOURCES[name], filename=f"<library:{name}>")
+    return program.functions[0]
+
+
+def lookup(name: str) -> ast.Function | None:
+    """The library implementation of ``name``, or None."""
+    if name not in LIBRARY_SOURCES:
+        return None
+    return _parse_library_function(name)
+
+
+def is_library_function(name: str) -> bool:
+    return name in LIBRARY_SOURCES

@@ -1,0 +1,154 @@
+"""2-D shape algebra for MATLAB values.
+
+Every MATLAB value in the supported subset is a 2-D array; scalars are
+(1, 1).  A dimension is either a concrete non-negative ``int`` or ``None``
+meaning statically unknown.  The backend requires concrete shapes, so
+``None`` dims surviving to codegen produce a diagnostic pointing at the
+allocation that lost the information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+Dim = int | None
+
+
+def dims_equal(a: Dim, b: Dim) -> bool | None:
+    """Three-valued dim comparison: True/False when decidable, else None."""
+    if a is None or b is None:
+        return None
+    return a == b
+
+
+def dim_join(a: Dim, b: Dim) -> Dim:
+    return a if a == b else None
+
+
+@dataclass(frozen=True)
+class Shape:
+    """A (rows, cols) shape; either dim may be statically unknown."""
+
+    rows: Dim = 1
+    cols: Dim = 1
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.rows == 1 and self.cols == 1
+
+    @property
+    def is_row(self) -> bool:
+        return self.rows == 1
+
+    @property
+    def is_col(self) -> bool:
+        return self.cols == 1
+
+    @property
+    def is_vector(self) -> bool:
+        return self.rows == 1 or self.cols == 1
+
+    @property
+    def is_concrete(self) -> bool:
+        return self.rows is not None and self.cols is not None
+
+    def numel(self) -> Dim:
+        if self.rows is None or self.cols is None:
+            return None
+        return self.rows * self.cols
+
+    def length(self) -> Dim:
+        """MATLAB length(): max dimension (0 for empty)."""
+        if self.rows is None or self.cols is None:
+            return None
+        if self.rows == 0 or self.cols == 0:
+            return 0
+        return max(self.rows, self.cols)
+
+    def dim(self, d: int) -> Dim:
+        """size(x, d) with 1-based d."""
+        if d == 1:
+            return self.rows
+        if d == 2:
+            return self.cols
+        return 1
+
+    # -- algebra ----------------------------------------------------------
+
+    def transpose(self) -> "Shape":
+        return Shape(self.cols, self.rows)
+
+    def join(self, other: "Shape") -> "Shape":
+        return Shape(dim_join(self.rows, other.rows), dim_join(self.cols, other.cols))
+
+    def elementwise(self, other: "Shape") -> "Shape | None":
+        """Result shape of an element-wise op with scalar expansion.
+
+        Returns None when the shapes provably conflict.  (Implicit
+        broadcasting of non-scalar dims — a post-R2016b feature — is
+        deliberately not implemented, matching the paper's era.)
+        """
+        if self.is_scalar:
+            return other
+        if other.is_scalar:
+            return self
+        rows = dims_equal(self.rows, other.rows)
+        cols = dims_equal(self.cols, other.cols)
+        if rows is False or cols is False:
+            return None
+        return Shape(
+            self.rows if self.rows is not None else other.rows,
+            self.cols if self.cols is not None else other.cols,
+        )
+
+    def matmul(self, other: "Shape") -> "Shape | None":
+        """Result shape of ``self * other`` (matrix product rules)."""
+        if self.is_scalar:
+            return other
+        if other.is_scalar:
+            return self
+        inner = dims_equal(self.cols, other.rows)
+        if inner is False:
+            return None
+        return Shape(self.rows, other.cols)
+
+    def hcat(self, other: "Shape") -> "Shape | None":
+        rows = dims_equal(self.rows, other.rows)
+        if rows is False:
+            return None
+        if self.cols is None or other.cols is None:
+            cols: Dim = None
+        else:
+            cols = self.cols + other.cols
+        return Shape(self.rows if self.rows is not None else other.rows, cols)
+
+    def vcat(self, other: "Shape") -> "Shape | None":
+        cols = dims_equal(self.cols, other.cols)
+        if cols is False:
+            return None
+        if self.rows is None or other.rows is None:
+            rows: Dim = None
+        else:
+            rows = self.rows + other.rows
+        return Shape(rows, self.cols if self.cols is not None else other.cols)
+
+    def describe(self) -> str:
+        def show(d: Dim) -> str:
+            return "?" if d is None else str(d)
+
+        return f"[{show(self.rows)}x{show(self.cols)}]"
+
+
+#: Shared shapes.
+SCALAR = Shape(1, 1)
+EMPTY = Shape(0, 0)
+
+
+def row(n: Dim) -> Shape:
+    return Shape(1, n)
+
+
+def col(n: Dim) -> Shape:
+    return Shape(n, 1)

@@ -1,0 +1,199 @@
+"""MATLAB type lattice.
+
+A value's static type is an :class:`MType`: a numeric class
+(:class:`DType`), a complex flag, a 2-D :class:`~repro.semantics.shapes.Shape`,
+and optionally a compile-time constant value.  Constant tracking is what
+lets ``y = zeros(1, N)`` with ``N = length(x)`` produce a statically sized
+C array when the entry point's argument shapes are concrete (the same
+mechanism MATLAB Coder's ``-args`` specification relies on).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.semantics.shapes import SCALAR, Shape
+
+
+class DType(enum.Enum):
+    """Numeric classes, ordered by promotion rank."""
+
+    CHAR = -1
+    LOGICAL = 0
+    INT8 = 1
+    INT16 = 2
+    INT32 = 3
+    SINGLE = 4
+    DOUBLE = 5
+
+    @property
+    def is_integer(self) -> bool:
+        return self in (DType.INT8, DType.INT16, DType.INT32)
+
+    @property
+    def is_float(self) -> bool:
+        return self in (DType.SINGLE, DType.DOUBLE)
+
+    def join(self, other: "DType") -> "DType":
+        """MATLAB class combination.
+
+        Mostly the promotion-rank upper bound, with MATLAB's twists that
+        the *narrower* class dominates mixed expressions: ``single``
+        beats ``double``, and integer classes beat floats (an int16
+        array times a double literal stays int16).  Two different
+        integer classes (an error in MATLAB) join to the wider one.
+        """
+        pair = {self, other}
+        if pair == {DType.SINGLE, DType.DOUBLE}:
+            return DType.SINGLE
+        if self.is_integer and other.is_float:
+            return self
+        if other.is_integer and self.is_float:
+            return other
+        return self if self.value >= other.value else other
+
+    @property
+    def c_name(self) -> str:
+        return _C_NAMES[self]
+
+    @property
+    def short_name(self) -> str:
+        return _SHORT_NAMES[self]
+
+
+_C_NAMES = {
+    DType.CHAR: "char",
+    DType.LOGICAL: "int",
+    DType.INT8: "signed char",
+    DType.INT16: "short",
+    DType.INT32: "int",
+    DType.SINGLE: "float",
+    DType.DOUBLE: "double",
+}
+
+_SHORT_NAMES = {
+    DType.CHAR: "char",
+    DType.LOGICAL: "logical",
+    DType.INT8: "int8",
+    DType.INT16: "int16",
+    DType.INT32: "int32",
+    DType.SINGLE: "single",
+    DType.DOUBLE: "double",
+}
+
+_BY_SHORT_NAME = {v: k for k, v in _SHORT_NAMES.items()}
+
+
+def dtype_from_name(name: str) -> DType | None:
+    """Map a MATLAB class name ('double', 'int16', ...) to a DType."""
+    return _BY_SHORT_NAME.get(name)
+
+
+@dataclass(frozen=True)
+class MType:
+    """Static type of a MATLAB value.
+
+    Attributes:
+        dtype: numeric class.
+        is_complex: True for complex values.
+        shape: 2-D shape (scalars are (1, 1)).
+        value: compile-time constant value when known (int/float/complex
+            for scalars; used for shape propagation and loop analysis).
+    """
+
+    dtype: DType = DType.DOUBLE
+    is_complex: bool = False
+    shape: Shape = SCALAR
+    value: object = None
+
+    # -- constructors ---------------------------------------------------
+
+    @staticmethod
+    def scalar(dtype: DType = DType.DOUBLE, is_complex: bool = False,
+               value: object = None) -> "MType":
+        return MType(dtype=dtype, is_complex=is_complex, shape=SCALAR, value=value)
+
+    @staticmethod
+    def double(value: float | None = None) -> "MType":
+        return MType.scalar(DType.DOUBLE, value=value)
+
+    @staticmethod
+    def logical(value: bool | None = None) -> "MType":
+        return MType.scalar(DType.LOGICAL, value=value)
+
+    @staticmethod
+    def array(dtype: DType, rows, cols, is_complex: bool = False) -> "MType":
+        return MType(dtype=dtype, is_complex=is_complex, shape=Shape(rows, cols))
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.shape.is_scalar
+
+    @property
+    def is_vector(self) -> bool:
+        return self.shape.is_vector
+
+    @property
+    def is_constant(self) -> bool:
+        return self.value is not None
+
+    # -- derived types ---------------------------------------------------
+
+    def with_shape(self, shape: Shape) -> "MType":
+        return replace(self, shape=shape, value=None if not shape.is_scalar else self.value)
+
+    def without_value(self) -> "MType":
+        return replace(self, value=None) if self.value is not None else self
+
+    def as_real(self) -> "MType":
+        return replace(self, is_complex=False, value=None)
+
+    def as_complex(self) -> "MType":
+        return replace(self, is_complex=True, value=None)
+
+    def element_type(self) -> "MType":
+        """The type of a single element of this value."""
+        return MType(dtype=self.dtype, is_complex=self.is_complex, shape=SCALAR)
+
+    def join(self, other: "MType") -> "MType":
+        """Least upper bound, used at control-flow merges."""
+        shape = self.shape.join(other.shape)
+        value = self.value if self.value == other.value else None
+        # Mixed int/float joins to float in this compiler's model.
+        dtype = self.dtype.join(other.dtype)
+        return MType(
+            dtype=dtype,
+            is_complex=self.is_complex or other.is_complex,
+            shape=shape,
+            value=value,
+        )
+
+    def describe(self) -> str:
+        base = self.dtype.short_name
+        if self.is_complex:
+            base = "complex " + base
+        if self.shape.is_scalar:
+            text = base
+        else:
+            text = f"{base} {self.shape.describe()}"
+        if self.value is not None:
+            text += f" (= {self.value!r})"
+        return text
+
+
+#: Convenient shared instances.
+DOUBLE = MType.double()
+LOGICAL = MType.logical()
+INT32 = MType.scalar(DType.INT32)
+
+
+def promote_binary(a: MType, b: MType) -> tuple[DType, bool]:
+    """Numeric promotion for a binary arithmetic op: (dtype, is_complex)."""
+    dtype = a.dtype.join(b.dtype)
+    # Logical operands participate in arithmetic as doubles, like MATLAB.
+    if dtype is DType.LOGICAL:
+        dtype = DType.DOUBLE
+    return dtype, a.is_complex or b.is_complex

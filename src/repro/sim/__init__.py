@@ -1,0 +1,1 @@
+"""Cycle-accurate IR executor for ASIP cost models."""

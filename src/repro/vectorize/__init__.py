@@ -1,0 +1,1 @@
+"""Custom-instruction exploitation: SIMD, complex, MAC."""

@@ -1,0 +1,60 @@
+"""Shared instruction-selection queries against a processor description."""
+
+from __future__ import annotations
+
+from repro.asip.model import Instruction, ProcessorDescription
+from repro.ir import nodes as ir
+from repro.ir.types import ScalarKind, ScalarType
+
+#: BinOp opcodes with a direct SIMD-instruction counterpart.
+SIMD_BINOPS = {
+    "add": "vadd",
+    "sub": "vsub",
+    "mul": "vmul",
+    "div": "vdiv",
+    "min": "vmin",
+    "max": "vmax",
+}
+
+#: Scalar complex BinOp opcodes with a complex-unit counterpart.
+COMPLEX_BINOPS = {
+    "add": "cadd",
+    "sub": "csub",
+    "mul": "cmul",
+}
+
+
+def find(processor: ProcessorDescription, operation: str, elem: ScalarKind,
+         lanes: int) -> Instruction | None:
+    return processor.find(operation, elem, lanes)
+
+
+def exprs_equal(a: ir.Expr, b: ir.Expr) -> bool:
+    """Structural equality of pure expressions (used by idiom matchers)."""
+    if type(a) is not type(b) or a.type != b.type:
+        return False
+    if isinstance(a, ir.Const):
+        return a.value == b.value
+    if isinstance(a, ir.VarRef):
+        return a.name == b.name
+    if isinstance(a, ir.BinOp):
+        return a.op == b.op and exprs_equal(a.left, b.left) and \
+            exprs_equal(a.right, b.right)
+    if isinstance(a, ir.UnOp):
+        return a.op == b.op and exprs_equal(a.operand, b.operand)
+    if isinstance(a, ir.MathCall):
+        return a.name == b.name and len(a.args) == len(b.args) and \
+            all(exprs_equal(x, y) for x, y in zip(a.args, b.args))
+    if isinstance(a, ir.Cast):
+        return exprs_equal(a.operand, b.operand)
+    if isinstance(a, ir.Load):
+        return a.array == b.array and exprs_equal(a.index, b.index)
+    if isinstance(a, ir.MakeComplex):
+        return exprs_equal(a.real, b.real) and exprs_equal(a.imag, b.imag)
+    return False
+
+
+def scalar_kind(expr: ir.Expr) -> ScalarKind | None:
+    if isinstance(expr.type, ScalarType):
+        return expr.type.kind
+    return None

@@ -1,0 +1,5 @@
+"""Pytest configuration for the unit/integration suite.
+
+Shared helper functions live in :mod:`helpers`; this file only ensures
+the tests directory is importable as top-level modules.
+"""

@@ -1,0 +1,318 @@
+"""Differential battery: many small MATLAB programs, four execution paths.
+
+Each program is executed by the golden interpreter and by the simulator
+on both baseline and optimized IR; selected programs additionally round-
+trip through gcc.  Any disagreement localizes a compiler bug.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import arg
+
+from helpers import check_program
+
+RNG = np.random.default_rng(2024)
+
+
+def rrow(n):
+    return RNG.standard_normal((1, n))
+
+
+def crow(n):
+    return RNG.standard_normal((1, n)) + 1j * RNG.standard_normal((1, n))
+
+
+CASES = [
+    # (name, source, args, inputs, nargout, tol, with_gcc)
+    ("polyval_horner", """
+function y = f(c, x)
+y = 0;
+for k = 1:length(c)
+    y = y * x + c(k);
+end
+end
+""", [arg((1, 5)), arg()], [rrow(5), 0.7], 1, 1e-9, True),
+
+    ("running_max", """
+function y = f(x)
+y = zeros(1, length(x));
+m = x(1);
+for k = 1:length(x)
+    m = max(m, x(k));
+    y(k) = m;
+end
+end
+""", [arg((1, 20))], [rrow(20)], 1, 1e-12, False),
+
+    ("moving_average", """
+function y = f(x, w)
+n = length(x);
+y = zeros(1, n);
+for k = 1:n
+    lo = max(1, k - w + 1);
+    acc = 0;
+    for j = lo:k
+        acc = acc + x(j);
+    end
+    y(k) = acc / (k - lo + 1);
+end
+end
+""", [arg((1, 24)), arg(value=4.0)], [rrow(24), 4.0], 1, 1e-12, True),
+
+    ("normalize", """
+function y = f(x)
+mu = mean(x);
+s = sqrt(mean((x - mu) .^ 2));
+y = (x - mu) ./ s;
+end
+""", [arg((1, 32))], [rrow(32)], 1, 1e-9, False),
+
+    ("complex_rotation", """
+function y = f(z, theta)
+w = complex(cos(theta), sin(theta));
+y = z .* w;
+end
+""", [arg((1, 12), complex=True), arg()], [crow(12), 0.8], 1, 1e-12,
+     True),
+
+    ("energy_and_peak", """
+function [e, p] = f(x)
+e = sum(x .* x);
+p = max(abs(x));
+end
+""", [arg((1, 16))], [rrow(16)], 2, 1e-12, False),
+
+    ("matrix_vector", """
+function y = f(A, x)
+y = A * x;
+end
+""", [arg((6, 6)), arg((6, 1))],
+     [RNG.standard_normal((6, 6)), RNG.standard_normal((6, 1))], 1,
+     1e-12, True),
+
+    ("outer_product", """
+function A = f(u, v)
+A = u * v;
+end
+""", [arg((4, 1)), arg((1, 5))],
+     [RNG.standard_normal((4, 1)), RNG.standard_normal((1, 5))], 1,
+     1e-12, False),
+
+    ("gram_matrix", """
+function G = f(A)
+G = A' * A;
+end
+""", [arg((5, 3))], [RNG.standard_normal((5, 3))], 1, 1e-12, False),
+
+    ("quantizer", """
+function y = f(x, step)
+y = step .* round(x ./ step);
+end
+""", [arg((1, 16)), arg()], [rrow(16), 0.25], 1, 1e-12, False),
+
+    ("clipping", """
+function y = f(x, lo, hi)
+y = min(max(x, lo), hi);
+end
+""", [arg((1, 16)), arg(), arg()], [rrow(16), -0.5, 0.5], 1, 1e-12,
+     True),
+
+    ("cumulative_sum", """
+function y = f(x)
+n = length(x);
+y = zeros(1, n);
+acc = 0;
+for k = 1:n
+    acc = acc + x(k);
+    y(k) = acc;
+end
+end
+""", [arg((1, 20))], [rrow(20)], 1, 1e-12, False),
+
+    ("even_odd_split", """
+function [e, o] = f(x)
+n = length(x) / 2;
+e = zeros(1, n);
+o = zeros(1, n);
+for k = 1:n
+    o(k) = x(2 * k - 1);
+    e(k) = x(2 * k);
+end
+end
+""", [arg((1, 16))], [rrow(16)], 2, 1e-12, False),
+
+    ("linear_interp", """
+function y = f(a, b, t)
+y = a .* (1 - t) + b .* t;
+end
+""", [arg((1, 10)), arg((1, 10)), arg()], [rrow(10), rrow(10), 0.3], 1,
+     1e-12, False),
+
+    ("sinc_table", """
+function y = f(n)
+y = zeros(1, 16);
+for k = 1:16
+    t = (k - 8.5) * 0.4;
+    y(k) = sin(n * t) / (n * t);
+end
+end
+""", [arg(value=2.0)], [2.0], 1, 1e-12, False),
+
+    ("goertzel_bin", """
+function p = f(x, w)
+s0 = 0;
+s1 = 0;
+s2 = 0;
+c = 2 * cos(w);
+for n = 1:length(x)
+    s0 = x(n) + c * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+end
+p = s1 * s1 + s2 * s2 - c * s1 * s2;
+end
+""", [arg((1, 32)), arg()], [rrow(32), 0.7], 1, 1e-9, True),
+
+    ("complex_accumulate", """
+function s = f(z)
+s = 0;
+for k = 1:length(z)
+    if real(z(k)) > 0
+        s = s + z(k);
+    else
+        s = s - conj(z(k));
+    end
+end
+end
+""", [arg((1, 18), complex=True)], [crow(18)], 1, 1e-12, False),
+
+    ("switch_modes", """
+function y = f(x, mode)
+y = zeros(1, length(x));
+for k = 1:length(x)
+    switch mode
+    case 1
+        y(k) = x(k) * 2;
+    case 2
+        y(k) = x(k) ^ 2;
+    otherwise
+        y(k) = 0;
+    end
+end
+end
+""", [arg((1, 8)), arg()], [rrow(8), 2.0], 1, 1e-12, False),
+
+    ("nested_helpers", """
+function y = f(x)
+y = square_all(shift(x, 1));
+end
+function y = shift(x, d)
+y = x + d;
+end
+function y = square_all(x)
+y = x .* x;
+end
+""", [arg((1, 9))], [rrow(9)], 1, 1e-12, True),
+
+    ("window_and_pad", """
+function y = f(x)
+n = length(x);
+y = zeros(1, 2 * n);
+y(1:n) = x .* linspace(1, 0, n);
+end
+""", [arg((1, 12))], [rrow(12)], 1, 1e-12, False),
+
+    ("hadamard_2x2", """
+function y = f(x)
+H = [1 1; 1 -1];
+y = H * reshape(x, 2, 2);
+end
+""", [arg((1, 4))], [rrow(4)], 1, 1e-12, False),
+
+    ("bit_manipulation", """
+function y = f(n)
+y = 0;
+t = n;
+while t > 0
+    y = y + mod(t, 2);
+    t = floor(t / 2);
+end
+end
+""", [arg()], [173.0], 1, 1e-12, False),
+
+    ("scalar_expansion_rows", """
+function y = f(A, c)
+y = A .* c + 1;
+end
+""", [arg((3, 5)), arg()], [RNG.standard_normal((3, 5)), 2.5], 1,
+     1e-12, False),
+
+    ("single_precision_chain", """
+function y = f(x)
+y = x .* 2 + x ./ 4;
+end
+""", [arg((1, 16), dtype="single")],
+     [RNG.standard_normal((1, 16)).astype(np.float32)], 1, 2e-6, True),
+
+    ("library_conv_then_slice", """
+function y = f(x, h)
+full = conv(x, h);
+y = full(length(h):length(x));
+end
+""", [arg((1, 20)), arg((1, 4))], [rrow(20), rrow(4)], 1, 1e-12, False),
+
+    ("fft_roundtrip", """
+function y = f(x)
+y = real(ifft(fft(x)));
+end
+""", [arg((1, 32))], [rrow(32)], 1, 1e-9, False),
+
+    ("iir_library_filter", """
+function y = f(b, a, x)
+y = filter(b, a, x);
+end
+""", [arg((1, 3)), arg((1, 3)), arg((1, 40))],
+     [np.array([[0.2, 0.4, 0.2]]), np.array([[1.0, -0.5, 0.2]]),
+      rrow(40)], 1, 1e-9, False),
+]
+
+
+@pytest.mark.parametrize(
+    "name,source,args,inputs,nargout,tol,with_gcc",
+    CASES, ids=[case[0] for case in CASES])
+def test_differential(name, source, args, inputs, nargout, tol, with_gcc):
+    check_program(source, args, inputs, nargout=nargout, tol=tol,
+                  with_gcc=with_gcc)
+
+
+def test_argument_result_aliasing():
+    """Regression: x = f(x) must snapshot the argument before the callee
+    writes its (pointer-aliased) output buffer."""
+    src = """
+function x = top(x)
+x = rev(x);
+end
+function y = rev(x)
+n = length(x);
+y = zeros(1, n);
+for k = 1:n
+    y(k) = x(n - k + 1);
+end
+end
+"""
+    x = np.arange(1.0, 7.0).reshape(1, -1)
+    check_program(src, [arg((1, 6))], [x], entry="top", with_gcc=True)
+
+
+def test_same_array_passed_twice():
+    src = """
+function y = top(x)
+y = combine(x, x);
+end
+function y = combine(a, b)
+y = a + b .* 2;
+end
+"""
+    x = np.arange(1.0, 5.0).reshape(1, -1)
+    check_program(src, [arg((1, 4))], [x], entry="top", with_gcc=True)

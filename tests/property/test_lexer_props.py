@@ -1,0 +1,92 @@
+"""Property-based tests for the lexer (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import TokenKind as K
+
+identifiers = st.from_regex(r"[a-zA-Z][a-zA-Z0-9_]{0,10}", fullmatch=True) \
+    .filter(lambda s: s not in {
+        "function", "end", "if", "elseif", "else", "for", "while",
+        "switch", "case", "otherwise", "break", "continue", "return"})
+
+finite_floats = st.floats(min_value=0.0, max_value=1e12,
+                          allow_nan=False, allow_infinity=False)
+
+
+@given(identifiers)
+def test_identifiers_round_trip(name):
+    tokens = tokenize(name)
+    assert tokens[0].kind is K.IDENT
+    assert tokens[0].text == name
+
+
+@given(st.integers(min_value=0, max_value=10 ** 12))
+def test_integer_literals_round_trip(value):
+    tokens = tokenize(str(value))
+    assert tokens[0].kind is K.INT_NUMBER
+    assert tokens[0].value == value
+
+
+@given(finite_floats)
+def test_float_literals_round_trip(value):
+    text = repr(value)
+    tokens = tokenize(text)
+    assert tokens[0].kind in (K.NUMBER, K.INT_NUMBER)
+    assert math.isclose(float(tokens[0].value), value, rel_tol=1e-15)
+
+
+@given(finite_floats)
+def test_imaginary_literals_round_trip(value):
+    tokens = tokenize(repr(value) + "i")
+    assert tokens[0].kind is K.IMAG_NUMBER
+    assert math.isclose(float(tokens[0].value), value, rel_tol=1e-15)
+
+
+@given(st.text(alphabet=st.characters(
+    codec="ascii", exclude_characters="'\n\r"), max_size=30))
+def test_string_literals_round_trip(content):
+    source = "'" + content.replace("'", "''") + "'"
+    tokens = tokenize(source)
+    assert tokens[0].kind is K.STRING
+    assert tokens[0].value == content
+
+
+@given(st.lists(st.sampled_from(
+    ["+", "-", "*", "/", ".*", "./", ".^", "==", "~=", "<=", ">=",
+     "&&", "||", "(", ")", ",", ";"]), min_size=1, max_size=20))
+def test_operator_streams_never_crash(ops):
+    tokens = tokenize(" ".join(ops))
+    assert tokens[-1].kind is K.EOF
+    # one token per operator plus EOF
+    assert len(tokens) == len(ops) + 1
+
+
+@given(st.lists(st.one_of(identifiers,
+                          st.integers(0, 999).map(str)),
+                min_size=1, max_size=10))
+@settings(max_examples=50)
+def test_whitespace_insensitivity_between_atoms(atoms):
+    tight = " ".join(atoms)
+    spaced = "   ".join(atoms)
+    kinds_tight = [t.kind for t in tokenize(tight)]
+    kinds_spaced = [t.kind for t in tokenize(spaced)]
+    assert kinds_tight == kinds_spaced
+
+
+@given(identifiers, st.integers(0, 100))
+def test_comments_never_leak_tokens(name, value):
+    source = f"{name} % comment with {value} stuff' [\n"
+    kinds = [t.kind for t in tokenize(source)]
+    assert kinds == [K.IDENT, K.NEWLINE, K.EOF]
+
+
+@given(st.integers(1, 30), st.integers(1, 30))
+def test_spans_are_monotone(a, b):
+    source = f"alpha{a} + beta{b}"
+    tokens = tokenize(source)
+    starts = [t.span.start for t in tokens if t.kind is not K.EOF]
+    assert starts == sorted(starts)

@@ -1,0 +1,90 @@
+"""Property-based algebraic laws of the shape lattice."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.semantics.shapes import SCALAR, Shape
+
+dims = st.one_of(st.none(), st.integers(min_value=0, max_value=64))
+shapes = st.builds(Shape, dims, dims)
+concrete = st.builds(Shape, st.integers(1, 16), st.integers(1, 16))
+
+
+@given(shapes)
+def test_join_idempotent(shape):
+    assert shape.join(shape) == shape
+
+
+@given(shapes, shapes)
+def test_join_commutative(a, b):
+    assert a.join(b) == b.join(a)
+
+
+@given(shapes, shapes, shapes)
+def test_join_associative(a, b, c):
+    assert a.join(b).join(c) == a.join(b.join(c))
+
+
+@given(concrete)
+def test_transpose_involution(shape):
+    assert shape.transpose().transpose() == shape
+
+
+@given(concrete)
+def test_elementwise_with_scalar_is_identity(shape):
+    assert SCALAR.elementwise(shape) == shape
+    assert shape.elementwise(SCALAR) == shape
+
+
+@given(concrete, concrete)
+def test_elementwise_commutative(a, b):
+    assert a.elementwise(b) == b.elementwise(a)
+
+
+@given(concrete)
+def test_elementwise_self_is_identity(shape):
+    assert shape.elementwise(shape) == shape
+
+
+@given(concrete, concrete)
+def test_matmul_dims(a, b):
+    result = a.matmul(b)
+    if a.is_scalar or b.is_scalar:
+        assert result is not None
+    elif a.cols == b.rows:
+        assert result == Shape(a.rows, b.cols)
+    else:
+        assert result is None
+
+
+@given(concrete, concrete)
+def test_hcat_preserves_rows_adds_cols(a, b):
+    merged = a.hcat(b)
+    if a.rows == b.rows:
+        assert merged == Shape(a.rows, a.cols + b.cols)
+        assert merged.numel() == a.numel() + b.numel()
+    else:
+        assert merged is None
+
+
+@given(concrete, concrete)
+def test_vcat_transpose_duality(a, b):
+    # vcat(a, b) == hcat(a', b')'
+    direct = a.vcat(b)
+    via_transpose = a.transpose().hcat(b.transpose())
+    if direct is None:
+        assert via_transpose is None
+    else:
+        assert via_transpose.transpose() == direct
+
+
+@given(concrete)
+def test_numel_length_consistency(shape):
+    assert shape.numel() == shape.rows * shape.cols
+    assert shape.length() == max(shape.rows, shape.cols)
+
+
+@given(shapes)
+def test_join_is_upper_bound(shape):
+    unknown = Shape(None, None)
+    assert shape.join(unknown) == unknown

@@ -1,0 +1,164 @@
+"""Unit tests for the builtin-signature registry."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.frontend.parser import parse
+from repro.semantics import builtins
+from repro.semantics.inference import specialize_program
+from repro.semantics.shapes import SCALAR, Shape
+from repro.semantics.types import DType, MType
+
+
+def infer_expr_type(expr_text: str, **vars_) -> MType:
+    """Infer the type of one expression over given variable types."""
+    params = ", ".join(vars_)
+    source = f"function y = probe({params})\ny = {expr_text};\nend"
+    sp = specialize_program(parse(source), "probe", list(vars_.values()))
+    # Read the variable binding (keeps compile-time constants), not the
+    # published result type (which strips them).
+    return sp.entry.final_env.lookup("y").mtype
+
+
+ROW8 = MType(DType.DOUBLE, False, Shape(1, 8))
+MAT34 = MType(DType.DOUBLE, False, Shape(3, 4))
+CROW8 = MType(DType.DOUBLE, True, Shape(1, 8))
+
+
+def test_registry_lookup():
+    assert builtins.lookup("zeros") is not None
+    assert builtins.lookup("nosuch") is None
+    assert builtins.is_builtin("sum")
+
+
+def test_constants_table():
+    assert builtins.CONSTANTS["pi"].value == pytest.approx(3.14159265358979)
+    assert builtins.CONSTANTS["true"].dtype is DType.LOGICAL
+    assert builtins.CONSTANTS["i"].is_complex
+
+
+def test_zeros_shapes():
+    assert infer_expr_type("zeros(3)").shape == Shape(3, 3)
+    assert infer_expr_type("zeros(2, 5)").shape == Shape(2, 5)
+    assert infer_expr_type("zeros(1, 1)").shape == SCALAR
+
+
+def test_ones_and_eye():
+    assert infer_expr_type("ones(4, 2)").shape == Shape(4, 2)
+    assert infer_expr_type("eye(3)").shape == Shape(3, 3)
+    assert infer_expr_type("eye(2, 4)").shape == Shape(2, 4)
+
+
+def test_linspace_default_and_explicit():
+    assert infer_expr_type("linspace(0, 1)").shape == Shape(1, 100)
+    assert infer_expr_type("linspace(0, 1, 7)").shape == Shape(1, 7)
+
+
+def test_length_numel_size():
+    assert infer_expr_type("length(A)", A=MAT34).value == 4.0
+    assert infer_expr_type("numel(A)", A=MAT34).value == 12.0
+    assert infer_expr_type("size(A, 1)", A=MAT34).value == 3.0
+    assert infer_expr_type("size(A, 2)", A=MAT34).value == 4.0
+
+
+def test_isreal_isempty():
+    assert infer_expr_type("isreal(x)", x=ROW8).value is True
+    assert infer_expr_type("isreal(z)", z=CROW8).value is False
+    assert infer_expr_type("isempty(x)", x=ROW8).value is False
+
+
+def test_elementwise_preserves_shape():
+    assert infer_expr_type("sin(A)", A=MAT34).shape == Shape(3, 4)
+    assert infer_expr_type("abs(z)", z=CROW8).shape == Shape(1, 8)
+
+
+def test_abs_of_complex_is_real():
+    t = infer_expr_type("abs(z)", z=CROW8)
+    assert not t.is_complex
+
+
+def test_real_imag_conj():
+    assert not infer_expr_type("real(z)", z=CROW8).is_complex
+    assert not infer_expr_type("imag(z)", z=CROW8).is_complex
+    assert infer_expr_type("conj(z)", z=CROW8).is_complex
+
+
+def test_reduction_of_vector_is_scalar():
+    assert infer_expr_type("sum(x)", x=ROW8).shape == SCALAR
+    assert infer_expr_type("prod(x)", x=ROW8).shape == SCALAR
+    assert infer_expr_type("mean(x)", x=ROW8).shape == SCALAR
+
+
+def test_reduction_of_matrix_is_row():
+    assert infer_expr_type("sum(A)", A=MAT34).shape == Shape(1, 4)
+
+
+def test_reduction_with_dim():
+    assert infer_expr_type("sum(A, 1)", A=MAT34).shape == Shape(1, 4)
+    assert infer_expr_type("sum(A, 2)", A=MAT34).shape == Shape(3, 1)
+
+
+def test_min_two_arg_elementwise():
+    t = infer_expr_type("min(x, 0)", x=ROW8)
+    assert t.shape == Shape(1, 8)
+
+
+def test_minmax_complex_rejected():
+    with pytest.raises(SemanticError, match="complex"):
+        infer_expr_type("max(z)", z=CROW8)
+
+
+def test_dot_requires_equal_lengths():
+    with pytest.raises(SemanticError, match="lengths"):
+        infer_expr_type("dot(a, b)", a=ROW8,
+                        b=MType(DType.DOUBLE, False, Shape(1, 9)))
+
+
+def test_conv_length_rule():
+    t = infer_expr_type("conv(a, b)", a=ROW8,
+                        b=MType(DType.DOUBLE, False, Shape(1, 3)))
+    assert t.shape == Shape(1, 10)
+
+
+def test_conv_column_when_both_columns():
+    a = MType(DType.DOUBLE, False, Shape(8, 1))
+    b = MType(DType.DOUBLE, False, Shape(3, 1))
+    assert infer_expr_type("conv(a, b)", a=a, b=b).shape == Shape(10, 1)
+
+
+def test_fft_is_complex_same_length():
+    t = infer_expr_type("fft(x)", x=ROW8)
+    assert t.is_complex and t.shape == Shape(1, 8)
+
+
+def test_filter_shape_follows_input():
+    t = infer_expr_type("filter(b, a, x)",
+                        b=MType(DType.DOUBLE, False, Shape(1, 3)),
+                        a=MType(DType.DOUBLE, False, Shape(1, 3)),
+                        x=ROW8)
+    assert t.shape == Shape(1, 8)
+
+
+def test_reshape_checks_element_count():
+    assert infer_expr_type("reshape(A, 2, 6)", A=MAT34).shape == Shape(2, 6)
+    with pytest.raises(SemanticError, match="reshape"):
+        infer_expr_type("reshape(A, 2, 5)", A=MAT34)
+
+
+def test_casts():
+    assert infer_expr_type("single(x)", x=ROW8).dtype is DType.SINGLE
+    assert infer_expr_type("int16(x)", x=ROW8).dtype is DType.INT16
+    assert infer_expr_type("logical(x)", x=ROW8).dtype is DType.LOGICAL
+
+
+def test_complex_builtin():
+    t = infer_expr_type("complex(x, x)", x=ROW8)
+    assert t.is_complex and t.shape == Shape(1, 8)
+
+
+def test_const_folding_of_math():
+    assert infer_expr_type("floor(7 / 2)").value == 3.0
+    assert infer_expr_type("round(2.5)").value == 3.0
+    assert infer_expr_type("round(-2.5)").value == -3.0
+    assert infer_expr_type("fix(-2.7)").value == -2.0
+    assert infer_expr_type("abs(-4)").value == 4

@@ -1,0 +1,157 @@
+"""Unit tests for the ``repro-mc`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, parse_arg_spec
+from repro.semantics.shapes import Shape
+from repro.semantics.types import DType
+
+FIR = """
+function y = f(x, h)
+y = conv(x, h);
+end
+"""
+
+
+@pytest.fixture
+def fir_file(tmp_path):
+    path = tmp_path / "fir.m"
+    path.write_text(FIR)
+    return path
+
+
+def test_parse_arg_spec_full():
+    spec = parse_arg_spec("double:1x256")
+    assert spec.dtype is DType.DOUBLE
+    assert spec.shape == Shape(1, 256)
+
+
+def test_parse_arg_spec_complex():
+    spec = parse_arg_spec("cdouble:4x1")
+    assert spec.is_complex and spec.shape == Shape(4, 1)
+
+
+def test_parse_arg_spec_scalar_shorthand():
+    spec = parse_arg_spec("single")
+    assert spec.dtype is DType.SINGLE and spec.shape == Shape(1, 1)
+
+
+def test_parse_arg_spec_errors():
+    with pytest.raises(ValueError, match="dtype"):
+        parse_arg_spec("quad:1x4")
+    with pytest.raises(ValueError, match="shape"):
+        parse_arg_spec("double:banana")
+
+
+def test_list_processors(capsys):
+    assert main(["--list-processors"]) == 0
+    out = capsys.readouterr().out
+    assert "vliw_simd_dsp" in out
+
+
+def test_describe_processor(capsys):
+    assert main(["--describe-processor", "--processor",
+                 "generic_scalar_dsp"]) == 0
+    out = capsys.readouterr().out
+    assert "mac_f64" in out
+
+
+def test_emit_header_standalone(capsys):
+    assert main(["--emit-header"]) == 0
+    out = capsys.readouterr().out
+    assert "REPRO_ASIP_INTRINSICS_H" in out
+
+
+def test_compile_to_stdout(fir_file, capsys):
+    code = main([str(fir_file), "--args", "double:1x16,double:1x4"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "void f_double_1x16_double_1x4(" in out
+
+
+def test_compile_to_file(fir_file, tmp_path, capsys):
+    out_file = tmp_path / "out.c"
+    code = main([str(fir_file), "--args", "double:1x16,double:1x4",
+                 "-o", str(out_file)])
+    assert code == 0
+    assert "asip" in out_file.read_text()
+
+
+def test_dump_ir(fir_file, capsys):
+    code = main([str(fir_file), "--args", "double:1x16,double:1x4",
+                 "--dump-ir"])
+    assert code == 0
+    assert "func " in capsys.readouterr().out
+
+
+def test_baseline_flag(fir_file, capsys):
+    code = main([str(fir_file), "--args", "double:1x64,double:1x4",
+                 "--baseline"])
+    assert code == 0
+    out = capsys.readouterr().out
+    compiled = out[out.index("/* ---- compiled MATLAB functions"):]
+    assert "asip_vmac" not in compiled
+
+
+def test_no_simd_flag(fir_file, capsys):
+    code = main([str(fir_file), "--args", "double:1x64,double:1x4",
+                 "--no-simd"])
+    assert code == 0
+    out = capsys.readouterr().out
+    compiled = out[out.index("/* ---- compiled MATLAB functions"):]
+    assert "asip_vmac_f64x4" not in compiled
+
+
+def test_missing_source_is_error(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unreadable_file(capsys):
+    assert main(["/nonexistent/path.m", "--args", "double"]) == 1
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_bad_arg_spec_reported(fir_file, capsys):
+    assert main([str(fir_file), "--args", "blah:2x2"]) == 1
+    assert "dtype" in capsys.readouterr().err
+
+
+def test_compile_error_reported(tmp_path, capsys):
+    bad = tmp_path / "bad.m"
+    bad.write_text("function y = f(x)\ny = undefined_thing(x);\nend")
+    assert main([str(bad), "--args", "double"]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_parser_help_mentions_examples():
+    parser = build_parser()
+    assert "repro-mc" in parser.format_usage()
+
+
+def test_simulate_prints_cycle_report(fir_file, capsys):
+    code = main([str(fir_file), "--args", "double:1x32,double:1x4",
+                 "--simulate"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cycles:" in out
+    assert "custom instructions" in out
+
+
+def test_simulate_compare_baseline(fir_file, capsys):
+    code = main([str(fir_file), "--args", "double:1x32,double:1x4",
+                 "--simulate", "--compare-baseline"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "speedup:" in out
+    assert "baseline cycles:" in out
+
+
+def test_simulate_deterministic_seed(fir_file, capsys):
+    main([str(fir_file), "--args", "double:1x16,double:1x4",
+          "--simulate", "--seed", "7"])
+    first = capsys.readouterr().out
+    main([str(fir_file), "--args", "double:1x16,double:1x4",
+          "--simulate", "--seed", "7"])
+    second = capsys.readouterr().out
+    assert first == second

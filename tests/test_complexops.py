@@ -1,0 +1,258 @@
+"""Unit tests for complex-arithmetic and scalar-MAC instruction selection."""
+
+import numpy as np
+
+from repro.asip.isa_library import generic_scalar_dsp, vliw_simd_dsp
+from repro.compiler import CompilerOptions, arg, compile_source
+from repro.ir.verifier import verify_module
+from repro.mlab.interp import MatlabInterpreter
+
+
+def run_mix(source, args, inputs, processor="vliw_simd_dsp",
+            options=None):
+    result = compile_source(source, args=args, processor=processor,
+                            options=options or CompilerOptions(simd=False))
+    verify_module(result.module)
+    run = result.simulate(list(inputs))
+    entry = result.sprog.entry.func.name
+    golden = MatlabInterpreter(source).call(entry, list(inputs))
+    assert np.allclose(np.asarray(run.outputs[0]), np.asarray(golden[0]),
+                       atol=1e-9, rtol=1e-9)
+    return run.report.instruction_counts
+
+
+CPLX2 = [arg((1, 8), complex=True), arg((1, 8), complex=True)]
+
+
+def cvec(seed):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((1, 8)) + 1j * rng.standard_normal((1, 8))
+
+
+def test_complex_multiply_selected():
+    src = """
+function y = f(a, b)
+y = complex(zeros(1, 8), zeros(1, 8));
+for k = 1:8
+    y(k) = a(k) * b(k);
+end
+end
+"""
+    mix = run_mix(src, CPLX2, [cvec(1), cvec(2)])
+    assert mix.get("cmul_c128", 0) == 8
+
+
+def test_complex_add_sub_selected():
+    src = """
+function y = f(a, b)
+y = complex(zeros(1, 8), zeros(1, 8));
+for k = 1:8
+    y(k) = (a(k) + b(k)) - (a(k) - b(k));
+end
+end
+"""
+    mix = run_mix(src, CPLX2, [cvec(3), cvec(4)])
+    assert mix.get("cadd_c128", 0) >= 8
+    assert mix.get("csub_c128", 0) >= 8
+
+
+def test_cmac_fuses_multiply_accumulate():
+    src = """
+function s = f(a, b)
+s = 0;
+for k = 1:8
+    s = s + a(k) * b(k);
+end
+end
+"""
+    mix = run_mix(src, CPLX2, [cvec(5), cvec(6)])
+    assert mix.get("cmac_c128", 0) == 8
+    assert mix.get("cmul_c128", 0) == 0  # fused away
+
+
+def test_cmac_commuted_form():
+    src = """
+function s = f(a, b)
+s = 0;
+for k = 1:8
+    s = a(k) * b(k) + s;
+end
+end
+"""
+    mix = run_mix(src, CPLX2, [cvec(7), cvec(8)])
+    assert mix.get("cmac_c128", 0) == 8
+
+
+def test_cconj_selected():
+    src = """
+function y = f(a, b)
+y = complex(zeros(1, 8), zeros(1, 8));
+for k = 1:8
+    y(k) = conj(a(k)) + b(k);
+end
+end
+"""
+    mix = run_mix(src, CPLX2, [cvec(9), cvec(10)])
+    assert mix.get("cconj_c128", 0) == 8
+
+
+def test_cmag2_pattern_both_orders():
+    src = """
+function [p, q] = f(z, w)
+p = zeros(1, 8);
+q = zeros(1, 8);
+for k = 1:8
+    p(k) = real(z(k)) * real(z(k)) + imag(z(k)) * imag(z(k));
+    q(k) = imag(w(k)) * imag(w(k)) + real(w(k)) * real(w(k));
+end
+end
+"""
+    result = compile_source(src, args=CPLX2,
+                            options=CompilerOptions(simd=False))
+    run = result.simulate([cvec(11), cvec(12)])
+    assert run.report.instruction_counts.get("cmag2_c128", 0) == 16
+
+
+def test_cmag2_requires_matching_operand():
+    # real(z)*real(z) + imag(w)*imag(w) with z != w must NOT fuse.
+    src = """
+function p = f(z, w)
+p = zeros(1, 8);
+for k = 1:8
+    p(k) = real(z(k)) * real(z(k)) + imag(w(k)) * imag(w(k));
+end
+end
+"""
+    mix = run_mix(src, CPLX2, [cvec(13), cvec(14)])
+    assert mix.get("cmag2_c128", 0) == 0
+
+
+def test_no_complex_unit_no_intrinsics():
+    src = """
+function s = f(a, b)
+s = 0;
+for k = 1:8
+    s = s + a(k) * b(k);
+end
+end
+"""
+    processor = generic_scalar_dsp()
+    mix = run_mix(src, CPLX2, [cvec(15), cvec(16)], processor=processor)
+    assert not any(name.startswith("c") for name in mix)
+
+
+def test_complex_isel_disabled_by_option():
+    src = """
+function s = f(a, b)
+s = 0;
+for k = 1:8
+    s = s + a(k) * b(k);
+end
+end
+"""
+    mix = run_mix(src, CPLX2, [cvec(17), cvec(18)],
+                  options=CompilerOptions(simd=False, complex_isel=False,
+                                          scalar_mac=False))
+    assert not any(name.startswith("cm") for name in mix)
+
+
+def test_scalar_mac_on_real_kernel():
+    src = """
+function s = f(a, b)
+s = 0;
+for k = 1:8
+    s = s + a(k) * b(k);
+end
+end
+"""
+    args = [arg((1, 8)), arg((1, 8))]
+    rng = np.random.default_rng(19)
+    a, b = rng.standard_normal((1, 8)), rng.standard_normal((1, 8))
+    mix = run_mix(src, args, [a, b])
+    assert mix.get("mac_f64", 0) == 8
+
+
+def test_scalar_mac_single_precision():
+    src = """
+function s = f(a, b)
+s = 0;
+for k = 1:8
+    s = s + a(k) * b(k);
+end
+end
+"""
+    args = [arg((1, 8), dtype="single"), arg((1, 8), dtype="single")]
+    rng = np.random.default_rng(20)
+    a = rng.standard_normal((1, 8)).astype(np.float32)
+    b = rng.standard_normal((1, 8)).astype(np.float32)
+    result = compile_source(src, args=args,
+                            options=CompilerOptions(simd=False))
+    run = result.simulate([a, b])
+    assert run.report.instruction_counts.get("mac_f32", 0) == 8
+
+
+def test_mac_not_applied_to_integer_math():
+    # i32 index arithmetic 'i + j*24' must not become a float MAC.
+    src = "function C = f(A, B)\nC = A * B;\nend"
+    args = [arg((4, 4)), arg((4, 4))]
+    rng = np.random.default_rng(21)
+    a, b = rng.standard_normal((4, 4)), rng.standard_normal((4, 4))
+    result = compile_source(src, args=args,
+                            options=CompilerOptions(simd=False))
+    run = result.simulate([a, b])
+    golden = a @ b
+    assert np.allclose(np.asarray(run.outputs[0]), golden)
+
+
+# ----------------------------------------------------------------------
+# Clip idiom
+# ----------------------------------------------------------------------
+
+
+def test_clip_idiom_selected():
+    src = """
+function y = f(x, lo, hi)
+y = zeros(1, 8);
+for k = 1:8
+    y(k) = min(max(x(k), lo), hi);
+end
+end
+"""
+    args = [arg((1, 8)), arg(), arg()]
+    rng = np.random.default_rng(30)
+    x = rng.standard_normal((1, 8)) * 3
+    mix = run_mix(src, args, [x, -1.0, 1.0])
+    assert mix.get("clip_f64", 0) == 8
+
+
+def test_clip_idiom_semantics_every_region():
+    src = "function y = f(x, lo, hi)\ny = min(max(x, lo), hi);\nend"
+    args = [arg(), arg(), arg()]
+    for x in (-5.0, -1.0, 0.0, 1.0, 5.0):
+        mix = run_mix(src, args, [x, -1.0, 1.0])
+        assert mix.get("clip_f64", 0) == 1
+
+
+def test_clip_inverted_bounds_not_miscompiled():
+    # min(max(x, lo), hi) with lo > hi must still evaluate exactly as
+    # written (result is hi).
+    src = "function y = f(x)\ny = min(max(x, 2), -2);\nend"
+    result = compile_source(src, args=[arg()],
+                            options=CompilerOptions(simd=False))
+    assert result.simulate([0.0]).outputs[0] == -2.0
+
+
+def test_max_outer_form_not_fused():
+    # max(min(x, hi), lo) is NOT the clip instruction's semantics.
+    src = "function y = f(x)\ny = max(min(x, 2), -2);\nend"
+    result = compile_source(src, args=[arg()],
+                            options=CompilerOptions(simd=False))
+    mix = result.simulate([0.0]).report.instruction_counts
+    assert mix.get("clip_f64", 0) == 0
+
+
+def test_clip_not_selected_without_instruction():
+    src = "function y = f(x)\ny = min(max(x, -1), 1);\nend"
+    processor = generic_scalar_dsp()
+    mix = run_mix(src, [arg()], [0.5], processor=processor)
+    assert "clip_f64" not in mix

@@ -1,0 +1,81 @@
+"""Unit tests for source bookkeeping and the diagnostics engine."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.frontend.diagnostics import DiagnosticEngine, Severity
+from repro.frontend.source import SourceFile, Span
+
+
+SAMPLE = "function y = f(x)\ny = x + 1;\nend\n"
+
+
+def test_line_col_mapping():
+    source = SourceFile(SAMPLE, "sample.m")
+    assert source.line_col(0) == (1, 1)
+    assert source.line_col(18) == (2, 1)  # 'y' of line 2
+    assert source.line_col(len(SAMPLE) - 1) == (3, 4)
+
+
+def test_line_col_clamps_out_of_range():
+    source = SourceFile("ab", "t.m")
+    assert source.line_col(99) == (1, 3)
+    assert source.line_col(-5) == (1, 1)
+
+
+def test_line_text():
+    source = SourceFile(SAMPLE)
+    assert source.line_text(1) == "function y = f(x)"
+    assert source.line_text(2) == "y = x + 1;"
+    assert source.line_text(99) == ""
+
+
+def test_excerpt_has_caret():
+    source = SourceFile(SAMPLE, "sample.m")
+    span = Span(18, 19, "sample.m")  # the 'y' on line 2
+    excerpt = source.excerpt(span)
+    lines = excerpt.split("\n")
+    assert lines[0] == "y = x + 1;"
+    assert lines[1].startswith("^")
+
+
+def test_excerpt_caret_width_matches_span():
+    source = SourceFile("abc def", "t.m")
+    excerpt = source.excerpt(Span(4, 7, "t.m"))
+    assert excerpt.split("\n")[1] == "    ^^^"
+
+
+def test_span_merge():
+    a = Span(5, 10, "t.m")
+    b = Span(2, 7, "t.m")
+    assert a.merge(b) == Span(2, 10, "t.m")
+
+
+def test_engine_fatal_error_raises():
+    engine = DiagnosticEngine(SourceFile(SAMPLE, "s.m"))
+    with pytest.raises(CompileError, match=r"s\.m:2:\d+.*boom"):
+        engine.error("boom", Span(18, 19, "s.m"))
+
+
+def test_engine_collecting_mode():
+    engine = DiagnosticEngine(SourceFile(SAMPLE), fatal_errors=False)
+    engine.error("first", Span(0, 1))
+    engine.warning("watch out", Span(18, 19))
+    engine.note("fyi", Span(18, 19))
+    assert engine.error_count == 1
+    assert engine.warning_count == 1
+    rendered = engine.render_all()
+    assert "error: first" in rendered
+    assert "warning: watch out" in rendered
+    assert "note: fyi" in rendered
+
+
+def test_diagnostic_render_without_source():
+    engine = DiagnosticEngine(None, fatal_errors=False)
+    engine.warning("plain", Span(0, 1, "file.m"))
+    assert engine.diagnostics[0].render() == "file.m: warning: plain"
+
+
+def test_severity_values():
+    assert Severity.ERROR.value == "error"
+    assert Severity.WARNING.value == "warning"

@@ -1,0 +1,158 @@
+"""Unit tests for the cross-function inlining pass."""
+
+import numpy as np
+
+from repro.compiler import CompilerOptions, arg, compile_source
+from repro.ir import nodes as ir
+from repro.ir.verifier import verify_module
+
+from helpers import check_program
+
+
+def call_count(module) -> int:
+    return sum(1 for f in module.functions
+               for s in ir.walk_statements(f.body)
+               if isinstance(s, ir.Call))
+
+
+def test_single_call_site_inlined_and_function_dropped():
+    src = """
+function y = f(x)
+y = helper(x) + 1;
+end
+function y = helper(x)
+y = x * 2;
+end
+"""
+    result = compile_source(src, args=[arg((1, 4))])
+    verify_module(result.module)
+    assert len(result.module.functions) == 1
+    assert call_count(result.module) == 0
+    out = result.simulate([np.array([[1.0, 2.0, 3.0, 4.0]])]).outputs[0]
+    assert np.allclose(out, [[3.0, 5.0, 7.0, 9.0]])
+
+
+def test_small_callee_inlined_at_multiple_sites():
+    src = """
+function y = f(a, b)
+y = twice(a) + twice(b);
+end
+function y = twice(x)
+y = x * 2;
+end
+"""
+    result = compile_source(src, args=[arg(), arg()])
+    assert call_count(result.module) == 0
+    assert result.simulate([3.0, 4.0]).outputs[0] == 14.0
+
+
+def test_inlining_disabled_by_option():
+    src = """
+function y = f(x)
+y = helper(x);
+end
+function y = helper(x)
+y = x + 1;
+end
+"""
+    result = compile_source(src, args=[arg()],
+                            options=CompilerOptions(inline=False))
+    assert call_count(result.module) == 1
+    assert len(result.module.functions) == 2
+
+
+def test_inlined_scalar_outputs():
+    src = """
+function [s, p] = f(a, b)
+[s, p] = both(a, b);
+end
+function [s, p] = both(a, b)
+s = a + b;
+p = a * b;
+end
+"""
+    result = compile_source(src, args=[arg(), arg()])
+    assert call_count(result.module) == 0
+    run = result.simulate([3.0, 5.0])
+    assert run.outputs == [8.0, 15.0]
+
+
+def test_inlined_mutating_callee_keeps_value_semantics():
+    # The callee mutates its parameter; the caller's array must not
+    # change (MATLAB value semantics, preserved via the copy-in local).
+    src = """
+function [y, keepx] = f(x)
+y = stomp(x);
+keepx = x(1);
+end
+function x = stomp(x)
+x(1) = 99;
+end
+"""
+    result = compile_source(src, args=[arg((1, 3))])
+    verify_module(result.module)
+    run = result.simulate([np.array([[1.0, 2.0, 3.0]])])
+    assert run.outputs[0][0, 0] == 99.0
+    assert run.outputs[1] == 1.0
+
+
+def test_callee_with_early_return_not_inlined():
+    src = """
+function y = f(x)
+y = guarded(x);
+end
+function y = guarded(x)
+y = 0;
+if x < 0
+    return
+end
+y = x;
+end
+"""
+    result = compile_source(src, args=[arg()])
+    assert call_count(result.module) == 1  # early return blocks inlining
+    assert result.simulate([-3.0]).outputs[0] == 0.0
+    assert result.simulate([3.0]).outputs[0] == 3.0
+
+
+def test_chained_inlining_through_levels():
+    src = """
+function y = f(x)
+y = outer(x);
+end
+function y = outer(x)
+y = inner(x) + 1;
+end
+function y = inner(x)
+y = x * 3;
+end
+"""
+    result = compile_source(src, args=[arg()])
+    assert len(result.module.functions) == 1
+    assert result.simulate([2.0]).outputs[0] == 7.0
+
+
+def test_inlined_library_kernel_still_correct():
+    src = "function y = f(x)\ny = conv(x, x);\nend"
+    x = np.random.default_rng(3).standard_normal((1, 12))
+    check_program(src, [arg((1, 12))], [x], with_gcc=True)
+
+
+def test_name_collisions_between_caller_and_callee():
+    # Both functions use 'acc' and 'k'; inlining must keep them apart.
+    src = """
+function acc = f(x)
+acc = 0;
+for k = 1:length(x)
+    acc = acc + part(x(k));
+end
+end
+function acc = part(v)
+acc = 0;
+for k = 1:3
+    acc = acc + v / 3;
+end
+end
+"""
+    x = np.array([[3.0, 6.0, 9.0]])
+    check_program(src, [arg((1, 3))], [x], tol=1e-12)

@@ -1,0 +1,151 @@
+"""Edge-shape tests for the MATLAB-source compiler-library kernels.
+
+fft/ifft/conv/filter carry orientation-generic branches resolved by
+static branch pruning; these tests exercise both orientations and the
+boundary sizes.
+"""
+
+import numpy as np
+import pytest
+from scipy.signal import lfilter
+
+from repro.compiler import arg, compile_source
+from repro.errors import SemanticError
+
+from helpers import check_program
+
+RNG = np.random.default_rng(5)
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 64])
+def test_fft_row_input(n):
+    src = "function X = f(x)\nX = fft(x);\nend"
+    x = RNG.standard_normal((1, n))
+    result = compile_source(src, args=[arg((1, n))])
+    out = result.simulate([x]).outputs[0]
+    assert out.shape == (1, n)
+    assert np.allclose(out.ravel(), np.fft.fft(x.ravel()), atol=1e-9)
+
+
+def test_fft_column_input_keeps_orientation():
+    src = "function X = f(x)\nX = fft(x);\nend"
+    x = RNG.standard_normal((16, 1))
+    result = compile_source(src, args=[arg((16, 1))])
+    out = result.simulate([x]).outputs[0]
+    assert out.shape == (16, 1)
+    assert np.allclose(out.ravel(), np.fft.fft(x.ravel()), atol=1e-9)
+
+
+def test_fft_of_complex_input():
+    src = "function X = f(z)\nX = fft(z);\nend"
+    z = RNG.standard_normal((1, 8)) + 1j * RNG.standard_normal((1, 8))
+    result = compile_source(src, args=[arg((1, 8), complex=True)])
+    out = result.simulate([z]).outputs[0]
+    assert np.allclose(out.ravel(), np.fft.fft(z.ravel()), atol=1e-9)
+
+
+def test_fft_non_power_of_two_rejected_with_message():
+    src = "function X = f(x)\nX = fft(x);\nend"
+    with pytest.raises(SemanticError, match="power of two"):
+        compile_source(src, args=[arg((1, 20))])
+
+
+def test_ifft_scaling():
+    src = "function y = f(z)\ny = ifft(z);\nend"
+    z = RNG.standard_normal((1, 16)) + 1j * RNG.standard_normal((1, 16))
+    result = compile_source(src, args=[arg((1, 16), complex=True)])
+    out = result.simulate([z]).outputs[0]
+    assert np.allclose(out.ravel(), np.fft.ifft(z.ravel()), atol=1e-9)
+
+
+@pytest.mark.parametrize("nx,nh", [(1, 1), (5, 1), (1, 5), (8, 3),
+                                   (3, 8), (16, 16)])
+def test_conv_sizes(nx, nh):
+    src = "function y = f(x, h)\ny = conv(x, h);\nend"
+    x, h = RNG.standard_normal((1, nx)), RNG.standard_normal((1, nh))
+    check_program(src, [arg((1, nx)), arg((1, nh))], [x, h], tol=1e-10)
+
+
+def test_conv_column_inputs_give_column():
+    src = "function y = f(x, h)\ny = conv(x, h);\nend"
+    x = RNG.standard_normal((6, 1))
+    h = RNG.standard_normal((3, 1))
+    result = compile_source(src, args=[arg((6, 1)), arg((3, 1))])
+    out = result.simulate([x, h]).outputs[0]
+    assert out.shape == (8, 1)
+    assert np.allclose(out.ravel(), np.convolve(x.ravel(), h.ravel()))
+
+
+def test_conv_mixed_orientation_gives_row():
+    src = "function y = f(x, h)\ny = conv(x, h);\nend"
+    x = RNG.standard_normal((6, 1))
+    h = RNG.standard_normal((1, 3))
+    result = compile_source(src, args=[arg((6, 1)), arg((1, 3))])
+    out = result.simulate([x, h]).outputs[0]
+    assert out.shape == (1, 8)
+
+
+def test_conv_complex_real_mix():
+    src = "function y = f(x, h)\ny = conv(x, h);\nend"
+    x = RNG.standard_normal((1, 6)) + 1j * RNG.standard_normal((1, 6))
+    h = RNG.standard_normal((1, 3))
+    check_program(src, [arg((1, 6), complex=True), arg((1, 3))], [x, h],
+                  tol=1e-10)
+
+
+def test_filter_fir_mode():
+    src = "function y = f(b, x)\ny = filter(b, 1, x);\nend"
+    b = np.array([[0.25, 0.5, 0.25]])
+    x = RNG.standard_normal((1, 30))
+    result = compile_source(src, args=[arg((1, 3)), arg((1, 30))])
+    out = result.simulate([b, x]).outputs[0]
+    assert np.allclose(out.ravel(), lfilter(b.ravel(), [1.0], x.ravel()))
+
+
+def test_filter_iir_against_scipy():
+    src = "function y = f(b, a, x)\ny = filter(b, a, x);\nend"
+    b = np.array([[0.0675, 0.1349, 0.0675]])
+    a = np.array([[1.0, -1.1430, 0.4128]])
+    x = RNG.standard_normal((1, 50))
+    result = compile_source(src, args=[arg((1, 3)), arg((1, 3)),
+                                       arg((1, 50))])
+    out = result.simulate([b, a, x]).outputs[0]
+    assert np.allclose(out.ravel(),
+                       lfilter(b.ravel(), a.ravel(), x.ravel()),
+                       atol=1e-9)
+
+
+def test_filter_column_input():
+    src = "function y = f(b, a, x)\ny = filter(b, a, x);\nend"
+    b = np.array([[0.5, 0.5]])
+    a = np.array([[1.0]])
+    x = RNG.standard_normal((20, 1))
+    result = compile_source(src, args=[arg((1, 2)), arg((1, 1)),
+                                       arg((20, 1))])
+    out = result.simulate([b, a, x]).outputs[0]
+    assert out.shape == (20, 1)
+    assert np.allclose(out.ravel(), lfilter([0.5, 0.5], [1.0], x.ravel()))
+
+
+def test_filter_normalizes_by_a1():
+    src = "function y = f(b, a, x)\ny = filter(b, a, x);\nend"
+    b = np.array([[2.0]])
+    a = np.array([[2.0]])
+    x = RNG.standard_normal((1, 10))
+    check_program(src, [arg((1, 1)), arg((1, 1)), arg((1, 10))],
+                  [b, a, x], tol=1e-12)
+
+
+def test_library_specializations_shared_across_sites():
+    # Two fft calls on equal shapes must share one specialization.
+    from repro.compiler import CompilerOptions
+    src = """
+function y = f(a, b)
+y = real(fft(a)) + imag(fft(b));
+end
+"""
+    result = compile_source(src, args=[arg((1, 8)), arg((1, 8))],
+                            options=CompilerOptions(inline=False))
+    fft_funcs = [fn for fn in result.module.functions
+                 if fn.source_name == "fft"]
+    assert len(fft_funcs) == 1

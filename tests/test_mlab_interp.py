@@ -1,0 +1,304 @@
+"""Unit tests for the golden MATLAB interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InterpreterError
+from repro.mlab.interp import MatlabInterpreter
+
+
+def call(source: str, entry: str, args=(), nargout: int = 1):
+    return MatlabInterpreter(source).call(entry, list(args), nargout)
+
+
+def scalar(value) -> float:
+    return float(np.asarray(value).ravel()[0])
+
+
+# ----------------------------------------------------------------------
+# Core semantics
+# ----------------------------------------------------------------------
+
+
+def test_scalar_arithmetic():
+    out = call("function y = f(a, b)\ny = a * b + a / b - 1;\nend",
+               "f", [6.0, 3.0])
+    assert scalar(out[0]) == 6 * 3 + 2 - 1
+
+
+def test_matrix_product_vs_elementwise():
+    src = "function [p, e] = f(A)\np = A * A;\ne = A .* A;\nend"
+    a = np.array([[1.0, 2.0], [3.0, 4.0]])
+    p, e = call(src, "f", [a], nargout=2)
+    assert np.allclose(p, a @ a)
+    assert np.allclose(e, a * a)
+
+
+def test_backslash_scalar_division():
+    out = call("function y = f(a)\ny = 2 \\ a;\nend", "f", [10.0])
+    assert scalar(out[0]) == 5.0
+
+
+def test_power_negative_base_goes_complex():
+    out = call("function y = f()\ny = (-8) ^ 0.5;\nend", "f")
+    assert np.iscomplexobj(out[0])
+
+
+def test_colon_operator_fencepost():
+    out = call("function y = f()\ny = 1:0.3:2;\nend", "f")
+    assert np.allclose(out[0], [[1.0, 1.3, 1.6, 1.9]])
+
+
+def test_empty_range():
+    out = call("function y = f()\ny = 5:1;\nend", "f")
+    assert out[0].size == 0
+
+
+def test_transpose_conjugates():
+    src = "function y = f(z)\ny = z';\nend"
+    z = np.array([[1 + 2j, 3 - 1j]])
+    out = call(src, "f", [z])
+    assert np.allclose(out[0], z.conj().T)
+
+
+def test_dot_transpose_does_not_conjugate():
+    src = "function y = f(z)\ny = z.';\nend"
+    z = np.array([[1 + 2j]])
+    assert np.allclose(call(src, "f", [z])[0], z.T)
+
+
+# ----------------------------------------------------------------------
+# Indexing
+# ----------------------------------------------------------------------
+
+
+def test_linear_indexing_column_major():
+    src = "function y = f(A)\ny = A(3);\nend"
+    a = np.array([[1.0, 3.0], [2.0, 4.0]])
+    assert scalar(call(src, "f", [a])[0]) == 3.0
+
+
+def test_end_in_ranges():
+    src = "function y = f(x)\ny = x(2:end-1);\nend"
+    x = np.arange(1.0, 7.0).reshape(1, -1)
+    assert np.allclose(call(src, "f", [x])[0], [[2, 3, 4, 5]])
+
+
+def test_nested_end_binds_to_inner_array():
+    src = "function y = f(x, idx)\ny = x(idx(end));\nend"
+    x = np.arange(10.0, 16.0).reshape(1, -1)
+    idx = np.array([[1.0, 4.0]])
+    assert scalar(call(src, "f", [x, idx])[0]) == 13.0
+
+
+def test_logical_indexing():
+    src = "function y = f(x)\ny = x(x > 2);\nend"
+    x = np.array([[1.0, 5.0, 2.0, 7.0]])
+    assert np.allclose(call(src, "f", [x])[0], [[5.0, 7.0]])
+
+
+def test_colon_whole_array():
+    src = "function y = f(A)\ny = A(:);\nend"
+    a = np.array([[1.0, 3.0], [2.0, 4.0]])
+    assert np.allclose(call(src, "f", [a])[0],
+                       np.array([[1.0], [2.0], [3.0], [4.0]]))
+
+
+def test_two_dim_indexing_with_vectors():
+    src = "function y = f(A)\ny = A([1 3], 2);\nend"
+    a = np.arange(12.0).reshape(3, 4)
+    assert np.allclose(call(src, "f", [a])[0], a[[0, 2], 1:2])
+
+
+def test_array_growth_on_store():
+    src = "function y = f()\ny = zeros(1, 2);\ny(5) = 9;\nend"
+    out = call(src, "f")[0]
+    assert out.shape == (1, 5)
+    assert out[0, 4] == 9.0
+
+
+def test_growth_from_undefined():
+    src = "function y = f()\ny(3) = 7;\nend"
+    out = call(src, "f")[0]
+    assert out.size >= 3 and out.ravel()[2] == 7.0
+
+
+def test_out_of_bounds_read_raises():
+    src = "function y = f(x)\ny = x(10);\nend"
+    with pytest.raises(InterpreterError, match="bounds"):
+        call(src, "f", [np.zeros((1, 3))])
+
+
+def test_complex_store_promotes_array():
+    src = "function y = f()\ny = zeros(1, 2);\ny(1) = 1 + 2i;\nend"
+    out = call(src, "f")[0]
+    assert np.iscomplexobj(out)
+
+
+# ----------------------------------------------------------------------
+# Control flow and functions
+# ----------------------------------------------------------------------
+
+
+def test_for_over_matrix_columns():
+    src = """
+function s = f(A)
+s = 0;
+for c = A
+    s = s + c(1) * c(2);
+end
+end
+"""
+    a = np.array([[1.0, 2.0], [3.0, 4.0]])
+    assert scalar(call(src, "f", [a])[0]) == 1 * 3 + 2 * 4
+
+
+def test_switch_on_strings():
+    src = """
+function y = f(mode)
+switch mode
+case 'fast'
+    y = 1;
+case 'slow'
+    y = 2;
+otherwise
+    y = 0;
+end
+end
+"""
+    assert scalar(call(src, "f", ["fast"])[0]) == 1
+    assert scalar(call(src, "f", ["slow"])[0]) == 2
+    assert scalar(call(src, "f", ["other"])[0]) == 0
+
+
+def test_anonymous_function_captures_environment():
+    src = """
+function y = f(a)
+scale = a * 2;
+g = @(t) t * scale;
+y = g(3);
+end
+"""
+    assert scalar(call(src, "f", [5.0])[0]) == 30.0
+
+
+def test_function_handle_dispatch():
+    src = """
+function y = f(x)
+h = @helper;
+y = h(x);
+end
+function y = helper(x)
+y = x + 100;
+end
+"""
+    assert scalar(call(src, "f", [1.0])[0]) == 101.0
+
+
+def test_nested_user_calls_and_recursion():
+    src = """
+function y = fact(n)
+if n <= 1
+    y = 1;
+else
+    y = n * fact(n - 1);
+end
+end
+"""
+    assert scalar(call(src, "fact", [5.0])[0]) == 120.0
+
+
+def test_error_builtin_raises():
+    src = "function f(x)\nif x < 0\nerror('negative input');\nend\nend"
+    with pytest.raises(InterpreterError, match="negative input"):
+        call(src, "f", [-1.0], nargout=0)
+
+
+def test_multiple_outputs_partial_request():
+    src = "function [a, b, c] = f()\na = 1; b = 2; c = 3;\nend"
+    out = call(src, "f", nargout=2)
+    assert len(out) == 2
+
+
+def test_script_execution():
+    interp = MatlabInterpreter("x = 3;\ny = x * 4;")
+    workspace = interp.run_script()
+    assert scalar(workspace["y"]) == 12.0
+
+
+# ----------------------------------------------------------------------
+# Builtins
+# ----------------------------------------------------------------------
+
+
+def test_min_max_with_indices():
+    src = "function [v, i] = f(x)\n[v, i] = min(x);\nend"
+    x = np.array([[4.0, -1.0, 2.0]])
+    v, i = call(src, "f", [x], nargout=2)
+    assert scalar(v) == -1.0 and scalar(i) == 2.0
+
+
+def test_sum_matrix_default_dim():
+    src = "function s = f(A)\ns = sum(A);\nend"
+    a = np.arange(6.0).reshape(2, 3)
+    assert np.allclose(call(src, "f", [a])[0], a.sum(axis=0,
+                                                     keepdims=True))
+
+
+def test_fprintf_format_recycling():
+    src = "function f(v)\nfprintf('%g,', v);\nend"
+    interp = MatlabInterpreter(src)
+    interp.call("f", [np.array([[1.0, 2.0, 3.0]])], nargout=0)
+    assert interp.stdout.getvalue() == "1,2,3,"
+
+
+def test_disp_string():
+    interp = MatlabInterpreter("function f()\ndisp('hello');\nend")
+    interp.call("f", [], nargout=0)
+    assert interp.stdout.getvalue() == "hello\n"
+
+
+def test_library_kernels_accessible():
+    src = "function y = f(x)\ny = real(ifft(fft(x)));\nend"
+    x = np.random.default_rng(0).standard_normal((1, 16))
+    assert np.allclose(call(src, "f", [x])[0], x)
+
+
+def test_filter_builtin_iir():
+    src = "function y = f(b, a, x)\ny = filter(b, a, x);\nend"
+    b = np.array([[0.5, 0.5]])
+    a = np.array([[1.0, -0.3]])
+    x = np.random.default_rng(1).standard_normal((1, 20))
+    out = call(src, "f", [b, a, x])[0]
+    from scipy.signal import lfilter
+    assert np.allclose(out.ravel(), lfilter(b.ravel(), a.ravel(),
+                                            x.ravel()))
+
+
+def test_string_length_and_concat_as_numbers():
+    src = "function n = f()\nn = length('hello');\nend"
+    assert scalar(call(src, "f")[0]) == 5.0
+
+
+def test_mod_rem_sign_conventions():
+    src = "function [m, r] = f(a, b)\nm = mod(a, b);\nr = rem(a, b);\nend"
+    m, r = call(src, "f", [-7.0, 3.0], nargout=2)
+    assert scalar(m) == 2.0
+    assert scalar(r) == -1.0
+
+
+def test_int32_saturates():
+    src = "function y = f(x)\ny = int32(x);\nend"
+    assert scalar(call(src, "f", [3e10])[0]) == 2 ** 31 - 1
+
+
+def test_reshape_column_major():
+    src = "function B = f(A)\nB = reshape(A, 3, 2);\nend"
+    a = np.arange(6.0).reshape(2, 3)
+    expected = a.reshape((3, 2), order="F")
+    assert np.allclose(call(src, "f", [a])[0], expected)
+
+
+def test_undefined_variable_message():
+    with pytest.raises(InterpreterError, match="undefined"):
+        call("function y = f()\ny = bogus_name;\nend", "f")

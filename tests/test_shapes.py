@@ -1,0 +1,120 @@
+"""Unit tests for the 2-D shape algebra."""
+
+from repro.semantics.shapes import EMPTY, SCALAR, Shape, col, dim_join, \
+    dims_equal, row
+
+
+def test_scalar_queries():
+    assert SCALAR.is_scalar and SCALAR.is_vector
+    assert SCALAR.numel() == 1
+    assert SCALAR.length() == 1
+
+
+def test_row_and_col_constructors():
+    assert row(5) == Shape(1, 5)
+    assert col(5) == Shape(5, 1)
+    assert row(5).is_row and not row(5).is_col
+    assert col(5).is_col and not col(5).is_row
+
+
+def test_vector_queries():
+    assert row(8).is_vector and col(8).is_vector
+    assert not Shape(3, 4).is_vector
+
+
+def test_numel_and_length():
+    assert Shape(3, 4).numel() == 12
+    assert Shape(3, 4).length() == 4
+    assert Shape(9, 2).length() == 9
+    assert EMPTY.length() == 0
+    assert Shape(0, 5).length() == 0
+
+
+def test_unknown_dims_propagate():
+    shape = Shape(None, 4)
+    assert shape.numel() is None
+    assert shape.length() is None
+    assert not shape.is_concrete
+
+
+def test_dim_accessor_is_one_based():
+    shape = Shape(3, 7)
+    assert shape.dim(1) == 3
+    assert shape.dim(2) == 7
+    assert shape.dim(3) == 1  # trailing singleton dims
+
+
+def test_transpose():
+    assert Shape(2, 5).transpose() == Shape(5, 2)
+    assert SCALAR.transpose() == SCALAR
+
+
+def test_join_equal_and_conflicting():
+    assert Shape(2, 3).join(Shape(2, 3)) == Shape(2, 3)
+    assert Shape(2, 3).join(Shape(2, 4)) == Shape(2, None)
+    assert Shape(2, 3).join(Shape(5, 3)) == Shape(None, 3)
+
+
+def test_elementwise_scalar_expansion():
+    assert SCALAR.elementwise(Shape(3, 4)) == Shape(3, 4)
+    assert Shape(3, 4).elementwise(SCALAR) == Shape(3, 4)
+
+
+def test_elementwise_matching_shapes():
+    assert Shape(3, 4).elementwise(Shape(3, 4)) == Shape(3, 4)
+
+
+def test_elementwise_conflict_is_none():
+    assert Shape(3, 4).elementwise(Shape(3, 5)) is None
+    assert row(4).elementwise(col(4)) is None  # no implicit broadcasting
+
+
+def test_elementwise_with_unknown_dim():
+    merged = Shape(3, None).elementwise(Shape(3, 7))
+    assert merged == Shape(3, 7)
+
+
+def test_matmul_shapes():
+    assert Shape(2, 3).matmul(Shape(3, 5)) == Shape(2, 5)
+    assert Shape(2, 3).matmul(Shape(4, 5)) is None
+    assert SCALAR.matmul(Shape(3, 3)) == Shape(3, 3)
+    assert Shape(3, 3).matmul(SCALAR) == Shape(3, 3)
+
+
+def test_matmul_vector_cases():
+    assert row(4).matmul(col(4)) == SCALAR
+    assert col(4).matmul(row(4)) == Shape(4, 4)
+
+
+def test_hcat():
+    assert row(2).hcat(row(3)) == row(5)
+    assert Shape(2, 3).hcat(Shape(2, 4)) == Shape(2, 7)
+    assert Shape(2, 3).hcat(Shape(3, 3)) is None
+
+
+def test_vcat():
+    assert col(2).vcat(col(3)) == col(5)
+    assert Shape(2, 3).vcat(Shape(4, 3)) == Shape(6, 3)
+    assert Shape(2, 3).vcat(Shape(2, 4)) is None
+
+
+def test_cat_with_unknown():
+    assert row(2).hcat(Shape(1, None)) == Shape(1, None)
+    assert Shape(None, 3).vcat(Shape(2, 3)) == Shape(None, 3)
+
+
+def test_dims_equal_three_valued():
+    assert dims_equal(3, 3) is True
+    assert dims_equal(3, 4) is False
+    assert dims_equal(3, None) is None
+    assert dims_equal(None, None) is None
+
+
+def test_dim_join():
+    assert dim_join(3, 3) == 3
+    assert dim_join(3, 4) is None
+
+
+def test_describe():
+    assert Shape(3, 4).describe() == "[3x4]"
+    assert Shape(None, 4).describe() == "[?x4]"

@@ -1,0 +1,110 @@
+"""Unit tests for the MATLAB type lattice."""
+
+from repro.semantics.shapes import SCALAR, Shape
+from repro.semantics.types import (
+    DType,
+    MType,
+    dtype_from_name,
+    promote_binary,
+)
+
+
+def test_dtype_rank_join():
+    assert DType.INT8.join(DType.INT32) is DType.INT32
+    assert DType.LOGICAL.join(DType.DOUBLE) is DType.DOUBLE
+    assert DType.DOUBLE.join(DType.DOUBLE) is DType.DOUBLE
+
+
+def test_single_beats_double():
+    # MATLAB rule: mixed single/double arithmetic stays single.
+    assert DType.SINGLE.join(DType.DOUBLE) is DType.SINGLE
+    assert DType.DOUBLE.join(DType.SINGLE) is DType.SINGLE
+
+
+def test_dtype_predicates():
+    assert DType.INT16.is_integer and not DType.INT16.is_float
+    assert DType.SINGLE.is_float and not DType.SINGLE.is_integer
+    assert not DType.LOGICAL.is_integer
+
+
+def test_dtype_from_name():
+    assert dtype_from_name("double") is DType.DOUBLE
+    assert dtype_from_name("int16") is DType.INT16
+    assert dtype_from_name("bogus") is None
+
+
+def test_scalar_constructors():
+    t = MType.double(3.0)
+    assert t.is_scalar and t.value == 3.0
+    assert MType.logical(True).dtype is DType.LOGICAL
+
+
+def test_with_shape_drops_value():
+    t = MType.double(3.0).with_shape(Shape(2, 2))
+    assert t.value is None
+    assert t.shape == Shape(2, 2)
+
+
+def test_element_type():
+    t = MType(DType.SINGLE, True, Shape(4, 4))
+    elem = t.element_type()
+    assert elem.is_scalar and elem.dtype is DType.SINGLE and elem.is_complex
+
+
+def test_as_real_as_complex():
+    t = MType.double()
+    assert t.as_complex().is_complex
+    assert t.as_complex().as_real().is_complex is False
+
+
+def test_join_preserves_equal_values():
+    a = MType.double(5.0)
+    b = MType.double(5.0)
+    assert a.join(b).value == 5.0
+
+
+def test_join_drops_different_values():
+    assert MType.double(5.0).join(MType.double(6.0)).value is None
+
+
+def test_join_shapes_and_complexity():
+    a = MType(DType.DOUBLE, False, Shape(1, 4))
+    b = MType(DType.DOUBLE, True, Shape(1, 4))
+    joined = a.join(b)
+    assert joined.is_complex
+    assert joined.shape == Shape(1, 4)
+
+
+def test_join_conflicting_shapes():
+    a = MType(DType.DOUBLE, False, Shape(1, 4))
+    b = MType(DType.DOUBLE, False, Shape(1, 5))
+    assert a.join(b).shape == Shape(1, None)
+
+
+def test_promote_binary_logical_becomes_double():
+    dtype, is_complex = promote_binary(MType.logical(), MType.logical())
+    assert dtype is DType.DOUBLE and not is_complex
+
+
+def test_promote_binary_complex_contagion():
+    dtype, is_complex = promote_binary(
+        MType.double(), MType.scalar(DType.DOUBLE, is_complex=True))
+    assert is_complex
+
+
+def test_promote_binary_single_wins():
+    dtype, _ = promote_binary(MType.scalar(DType.SINGLE), MType.double())
+    assert dtype is DType.SINGLE
+
+
+def test_describe_readable():
+    t = MType(DType.SINGLE, True, Shape(2, 3))
+    text = t.describe()
+    assert "complex" in text and "single" in text and "[2x3]" in text
+    assert MType.double(2.0).describe() == "double (= 2.0)"
+
+
+def test_without_value():
+    assert MType.double(2.0).without_value().value is None
+    plain = MType.double()
+    assert plain.without_value() is plain
