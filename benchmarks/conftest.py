@@ -4,10 +4,19 @@ Every experiment registers its result rows through ``record_row``; at
 the end of the session the rows are printed grouped by experiment, in
 the layout of the paper's tables, and also written to
 ``benchmarks/results/<experiment>.txt`` for EXPERIMENTS.md.
+
+Performance-trajectory tracking: tests measuring executor wall time
+register per-kernel entries through ``record_bench``; at session end
+they are written machine-readably to ``benchmarks/results/BENCH_e1.json``
+(per-kernel wall time for both simulator backends, cycle counts, and
+speedups) so future changes can be checked against the recorded
+trajectory.
 """
 
 from __future__ import annotations
 
+import json
+import platform
 from collections import defaultdict
 from pathlib import Path
 
@@ -15,8 +24,10 @@ import pytest
 
 _RESULTS: dict[str, list[dict]] = defaultdict(list)
 _HEADERS: dict[str, list[str]] = {}
+_BENCH: dict[str, dict] = {}
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+BENCH_JSON = RESULTS_DIR / "BENCH_e1.json"
 
 
 @pytest.fixture
@@ -26,6 +37,20 @@ def record_row():
     def record(experiment: str, headers: list[str], **row) -> None:
         _HEADERS[experiment] = headers
         _RESULTS[experiment].append(row)
+
+    return record
+
+
+@pytest.fixture
+def record_bench():
+    """Callable: record_bench(kernel, **fields).
+
+    Fields accumulate per kernel (later calls update earlier ones), and
+    the merged records land in ``BENCH_e1.json`` at session end.
+    """
+
+    def record(kernel: str, **fields) -> None:
+        _BENCH.setdefault(kernel, {"kernel": kernel}).update(fields)
 
     return record
 
@@ -45,7 +70,29 @@ def _format_table(experiment: str) -> str:
     return "\n".join(lines)
 
 
+def _write_bench_json() -> None:
+    kernels = [_BENCH[name] for name in sorted(_BENCH)]
+    ref = sum(k.get("reference_wall_s", 0.0) for k in kernels)
+    comp = sum(k.get("compiled_wall_s", 0.0) for k in kernels)
+    payload = {
+        "experiment": "E1",
+        "python": platform.python_version(),
+        "kernels": kernels,
+        "aggregate": {
+            "reference_wall_s": round(ref, 6),
+            "compiled_wall_s": round(comp, 6),
+            "wall_speedup": round(ref / comp, 2) if comp else None,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _BENCH:
+        _write_bench_json()
+        terminalreporter.write_line(
+            f"wrote backend wall-time trajectory to {BENCH_JSON}")
     if not _RESULTS:
         return
     RESULTS_DIR.mkdir(exist_ok=True)

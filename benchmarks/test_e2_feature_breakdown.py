@@ -20,7 +20,6 @@ import pytest
 from workloads import default_workloads, workload_by_name
 
 from repro.compiler import CompilerOptions, compile_source
-from repro.sim.machine import Simulator
 
 PROCESSOR = "vliw_simd_dsp"
 KERNELS = [w.name for w in default_workloads()]
@@ -41,7 +40,7 @@ def _cycles(workload, options, inputs, golden):
     result = compile_source(workload.source, args=workload.arg_types,
                             entry=workload.entry, processor=PROCESSOR,
                             options=options)
-    run = Simulator(result.module, result.processor).run(list(inputs))
+    run = result.simulate(list(inputs))
     produced = np.asarray(run.outputs[0])
     assert np.allclose(produced, golden, atol=workload.tolerance,
                        rtol=workload.tolerance)

@@ -15,7 +15,6 @@ import pytest
 from workloads import workload_by_name
 
 from repro.compiler import CompilerOptions, compile_source
-from repro.sim.machine import Simulator
 
 PROCESSORS = ["generic_scalar_dsp", "vliw_simd_dsp", "wide_simd_dsp"]
 KERNELS = ["fir", "cdot", "matmul"]
@@ -29,10 +28,8 @@ def _speedup(workload, processor, inputs, golden):
     baseline = compile_source(workload.source, args=workload.arg_types,
                               entry=workload.entry, processor=processor,
                               options=CompilerOptions.baseline())
-    run_opt = Simulator(optimized.module, optimized.processor) \
-        .run(list(inputs))
-    run_base = Simulator(baseline.module, baseline.processor) \
-        .run(list(inputs))
+    run_opt = optimized.simulate(list(inputs))
+    run_base = baseline.simulate(list(inputs))
     produced = np.asarray(run_opt.outputs[0])
     assert np.allclose(produced, golden, atol=workload.tolerance,
                        rtol=workload.tolerance)

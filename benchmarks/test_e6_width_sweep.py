@@ -15,7 +15,6 @@ from workloads import workload_by_name
 
 from repro.asip.isa_library import simd_dsp_with_width
 from repro.compiler import CompilerOptions, compile_source
-from repro.sim.machine import Simulator
 
 WIDTHS = [2, 4, 8, 16]
 KERNELS = ["fir", "matmul", "xcorr"]
@@ -42,10 +41,8 @@ def test_e6_width_sweep(kernel, benchmark, record_row):
                                       entry=workload.entry,
                                       processor=processor,
                                       options=CompilerOptions.baseline())
-            run_opt = Simulator(optimized.module, processor) \
-                .run(list(inputs))
-            run_base = Simulator(baseline.module, processor) \
-                .run(list(inputs))
+            run_opt = optimized.simulate(list(inputs))
+            run_base = baseline.simulate(list(inputs))
             produced = np.asarray(run_opt.outputs[0])
             assert np.allclose(produced, golden, atol=workload.tolerance,
                                rtol=workload.tolerance)

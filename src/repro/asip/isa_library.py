@@ -18,6 +18,8 @@ differences between targets isolate the custom-instruction effect.
 
 from __future__ import annotations
 
+import functools
+
 from repro.asip.model import (
     CostTable,
     Instruction,
@@ -192,8 +194,16 @@ def available_processors() -> list[str]:
     return sorted(_LIBRARY)
 
 
+@functools.lru_cache(maxsize=None)
 def load_processor(name: str) -> ProcessorDescription:
-    """Instantiate a shipped processor description by name."""
+    """Shipped processor description by name.
+
+    Memoized: descriptions are immutable in practice (the compiler
+    never mutates them), and rebuilding the full instruction list on
+    every ``compile_source`` call showed up in profiles.  Repeated
+    loads return the identical object, so ``processor is processor``
+    comparisons and fingerprint caching stay cheap.
+    """
     try:
         return _LIBRARY[name]()
     except KeyError:

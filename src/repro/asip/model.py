@@ -16,6 +16,7 @@ charges their costs.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.errors import IsaError
@@ -133,9 +134,15 @@ class CostTable:
         return self.math_call
 
 
-@dataclass
+@dataclass(eq=False)
 class ProcessorDescription:
-    """A complete target description: scalar costs + custom instructions."""
+    """A complete target description: scalar costs + custom instructions.
+
+    Equality and hashing are fingerprint-based: two descriptions with
+    the same name, cost table and instruction list compare equal, which
+    lets processors key caches (``functools.lru_cache``, the
+    compilation cache in :mod:`repro.cache`).
+    """
 
     name: str
     description: str = ""
@@ -153,6 +160,42 @@ class ProcessorDescription:
                     f"{instr.name!r}")
             seen.add(instr.name)
             self._by_key[(instr.operation, instr.elem, instr.lanes)] = instr
+        self._fingerprint: str | None = None
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable content hash of everything that affects compilation.
+
+        Covers the name, the scalar cost table and every instruction
+        (semantics tag, element kind, lanes, cycles, intrinsic).  The
+        free-text descriptions are excluded so documentation edits do
+        not invalidate caches.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            parts = [self.name]
+            parts.extend(
+                f"{f.name}={getattr(self.costs, f.name)}"
+                for f in dataclasses.fields(CostTable))
+            for instr in self.instructions:
+                parts.append(
+                    f"{instr.name}:{instr.operation}:{instr.elem.value}:"
+                    f"{instr.lanes}:{instr.cycles}:{instr.intrinsic}")
+            digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProcessorDescription):
+            return NotImplemented
+        return self.fingerprint() == other.fingerprint()
+
+    def __hash__(self) -> int:
+        return hash(self.fingerprint())
 
     # ------------------------------------------------------------------
     # Selection queries

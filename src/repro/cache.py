@@ -1,0 +1,195 @@
+"""Content-addressed compilation cache.
+
+Benchmark and service workloads compile the same kernel for the same
+signature over and over (every pytest parametrization, every CLI
+invocation in a sweep).  The pipeline is deterministic — the result is
+a pure function of the MATLAB source, the argument signatures, the
+entry point, the processor description and the option switches — so
+``compile_source`` results can be memoized under a content hash of
+exactly those inputs.
+
+Two layers:
+
+* an in-process LRU (:class:`CompilationCache`), always available;
+* an optional on-disk pickle store (``cache_dir`` argument or the
+  ``REPRO_CACHE_DIR`` environment variable) that survives process
+  restarts and is shared between workers.
+
+Cached :class:`~repro.compiler.CompilationResult` objects are shared
+between callers; treat them as immutable (the compiler and both
+simulator backends never mutate a finished module).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.asip.model import ProcessorDescription
+from repro.semantics.types import MType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.compiler import CompilationResult, CompilerOptions
+
+_OPTION_FIELDS = ("mode", "scalar_opt", "inline", "simd", "complex_isel",
+                  "scalar_mac")
+
+
+def _arg_token(mtype: MType) -> str:
+    shape = mtype.shape
+    return (f"{mtype.dtype.value}:{int(mtype.is_complex)}:"
+            f"{shape.rows}x{shape.cols}:{mtype.value!r}")
+
+
+def cache_key(source: str,
+              args: Iterable[MType],
+              entry: str | None,
+              processor: ProcessorDescription,
+              options: "CompilerOptions",
+              filename: str = "<string>") -> str:
+    """Content hash identifying one compilation exactly.
+
+    Anything that can change the produced module must be in here: the
+    source text, every argument signature (dtype, complexness, shape,
+    specialization value), the entry point, the processor fingerprint
+    (name + cost table + instruction list) and every option switch.
+    ``filename`` participates because it is baked into diagnostics
+    carried by the result.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(source.encode("utf-8"))
+    hasher.update(b"\x00")
+    for mtype in args:
+        hasher.update(_arg_token(mtype).encode("utf-8"))
+        hasher.update(b"\x00")
+    hasher.update(repr(entry).encode("utf-8"))
+    hasher.update(b"\x00")
+    hasher.update(processor.fingerprint().encode("ascii"))
+    hasher.update(b"\x00")
+    for name in _OPTION_FIELDS:
+        hasher.update(f"{name}={getattr(options, name)}".encode("utf-8"))
+        hasher.update(b"\x00")
+    hasher.update(filename.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+class CompilationCache:
+    """LRU of compilation results, optionally backed by a disk store."""
+
+    def __init__(self, maxsize: int = 256,
+                 cache_dir: "str | Path | None" = None):
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, CompilationResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+
+    # -- in-memory layer ----------------------------------------------
+
+    def get(self, key: str) -> "CompilationResult | None":
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        entry = self._disk_get(key)
+        if entry is not None:
+            self.hits += 1
+            self.disk_hits += 1
+            self._remember(key, entry)
+            return entry
+        self.misses += 1
+        return None
+
+    def put(self, key: str, result: "CompilationResult") -> None:
+        self._remember(key, result)
+        self._disk_put(key, result)
+
+    def _remember(self, key: str, result: "CompilationResult") -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    # -- disk layer ----------------------------------------------------
+
+    def _disk_path(self, key: str) -> "Path | None":
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / key[:2] / f"{key}.pkl"
+
+    def _disk_get(self, key: str) -> "CompilationResult | None":
+        path = self._disk_path(key)
+        if path is None or not path.is_file():
+            return None
+        try:
+            with path.open("rb") as stream:
+                return pickle.load(stream)
+        except Exception:
+            # A corrupt or version-skewed entry is just a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _disk_put(self, key: str, result: "CompilationResult") -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            with tmp.open("wb") as stream:
+                pickle.dump(result, stream, pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)
+        except Exception:
+            # Disk persistence is best-effort; the in-memory entry
+            # already satisfies this process.
+            pass
+
+    # -- maintenance ---------------------------------------------------
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = self.misses = self.disk_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "disk_hits": self.disk_hits, "size": len(self._entries)}
+
+
+_default_cache = CompilationCache()
+
+
+def default_cache() -> CompilationCache:
+    """The process-wide cache used by ``compile_source``."""
+    return _default_cache
+
+
+def configure(maxsize: "int | None" = None,
+              cache_dir: "str | Path | None" = None) -> CompilationCache:
+    """Replace the process-wide cache (tests, services with custom dirs)."""
+    global _default_cache
+    _default_cache = CompilationCache(
+        maxsize=maxsize if maxsize is not None else 256,
+        cache_dir=cache_dir)
+    return _default_cache
+
+
+def clear() -> None:
+    _default_cache.clear()
+
+
+def stats() -> dict[str, int]:
+    return _default_cache.stats()

@@ -81,6 +81,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "pipeline and report the speedup")
     parser.add_argument("--seed", type=int, default=0,
                         help="random seed for --simulate inputs")
+    parser.add_argument("--backend", choices=["compiled", "reference"],
+                        default=None,
+                        help="simulator backend for --simulate: 'compiled' "
+                             "(default; one-time translation, fast) or "
+                             "'reference' (tree-walking interpreter)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the content-addressed compilation "
+                             "cache")
+    parser.add_argument("--profile", action="store_true",
+                        help="print per-stage compilation timing (and "
+                             "simulation wall time with --simulate)")
     parser.add_argument("--emit-header", action="store_true",
                         help="print only the intrinsics header")
     parser.add_argument("--list-processors", action="store_true",
@@ -130,10 +141,14 @@ def main(argv: list[str] | None = None) -> int:
         result = compile_source(source, args=specs, entry=options.entry,
                                 processor=options.processor,
                                 options=pipeline,
-                                filename=options.source)
+                                filename=options.source,
+                                use_cache=not options.no_cache)
     except ReproError as exc:
         print(f"repro-mc: error: {exc}", file=sys.stderr)
         return 1
+
+    if options.profile:
+        _print_profile(result)
 
     if options.simulate:
         return _simulate(result, source, specs, options)
@@ -148,8 +163,20 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _print_profile(result) -> None:
+    """Per-stage compilation timing collected by compile_source."""
+    if not result.stage_times:
+        print("profile: (cached result; no stage timings recorded)")
+        return
+    print("compilation profile:")
+    for stage, seconds in result.stage_times.items():
+        print(f"  {stage:<14} {seconds * 1e3:8.2f} ms")
+
+
 def _simulate(result, source: str, specs, options) -> int:
     """Run the compiled entry on random inputs; print the cycle report."""
+    import time
+
     import numpy as np
 
     from repro.ir.types import ArrayType, ScalarType
@@ -167,9 +194,18 @@ def _simulate(result, source: str, specs, options) -> int:
         else:
             inputs.append(float(rng.standard_normal()))
 
-    run = result.simulate(inputs)
+    t0 = time.perf_counter()
+    try:
+        run = result.simulate(inputs, backend=options.backend)
+    except (ReproError, ValueError) as exc:
+        print(f"repro-mc: error: {exc}", file=sys.stderr)
+        return 1
+    sim_wall = time.perf_counter() - t0
     print(f"entry: {result.entry_name} on {result.processor.name} "
           f"(seed {options.seed})")
+    if options.profile:
+        backend = options.backend or "compiled"
+        print(f"simulation wall time ({backend}): {sim_wall * 1e3:.2f} ms")
     print(f"cycles: {run.report.total}")
     for category in sorted(run.report.by_category):
         print(f"  {category:<10} {run.report.by_category[category]}")
@@ -184,8 +220,9 @@ def _simulate(result, source: str, specs, options) -> int:
         baseline = compile_source(source, args=specs,
                                   entry=options.entry,
                                   processor=options.processor,
-                                  options=CompilerOptions.baseline())
-        base_run = baseline.simulate(inputs)
+                                  options=CompilerOptions.baseline(),
+                                  use_cache=not options.no_cache)
+        base_run = baseline.simulate(inputs, backend=options.backend)
         speedup = base_run.report.total / max(run.report.total, 1)
         print(f"baseline cycles: {base_run.report.total}")
         print(f"speedup: {speedup:.2f}x")

@@ -1,1 +1,23 @@
-"""Cycle-accurate IR executor for ASIP cost models."""
+"""Cycle-accurate IR executors for ASIP cost models.
+
+Two backends share identical semantics and cycle accounting:
+
+* :class:`~repro.sim.machine.Simulator` — the tree-walking reference
+  executor (slow, simple, the ground truth for differential testing);
+* :class:`~repro.sim.compiled.CompiledSimulator` — a one-time
+  translation of the IR into Python functions, typically several times
+  faster on benchmark workloads.
+"""
+
+from repro.sim.compiled import CompiledProgram, CompiledSimulator
+from repro.sim.cost import CostModel, CycleReport
+from repro.sim.machine import ExecutionResult, Simulator
+
+__all__ = [
+    "CompiledProgram",
+    "CompiledSimulator",
+    "CostModel",
+    "CycleReport",
+    "ExecutionResult",
+    "Simulator",
+]

@@ -49,6 +49,57 @@ class _ReturnSignal(Exception):
     pass
 
 
+def as_buffer(value, array_type: ArrayType, name: str) -> np.ndarray:
+    """Flatten ``value`` to the column-major buffer an array arg uses."""
+    dtype = numpy_dtype(array_type.elem.kind)
+    array = np.asarray(value)
+    if array.size != array_type.numel:
+        raise SimulationError(
+            f"argument {name!r}: expected {array_type.numel} elements, "
+            f"got {array.size}")
+    return np.ascontiguousarray(
+        array.reshape(-1, order="F").astype(dtype, copy=True))
+
+
+def coerce_scalar(value, scalar_type: ScalarType):
+    """Coerce a scalar argument to the Python value the IR type implies."""
+    if isinstance(value, np.ndarray):
+        if value.size != 1:
+            raise SimulationError(
+                f"expected a scalar argument, got an array of "
+                f"{value.size} elements")
+        value = value.reshape(-1)[0]
+    kind = scalar_type.kind
+    if kind.is_complex:
+        return complex(value)
+    if kind is ScalarKind.BOOL:
+        return bool(value)
+    if kind.is_integer:
+        return int(value)
+    return float(value)
+
+
+def from_numpy(value):
+    """Unbox a numpy scalar into the plain Python value the IR uses."""
+    if isinstance(value, (np.complexfloating,)):
+        return complex(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+def format_emit(format_string: str, values: list[object]) -> str:
+    """printf-style formatting with the permissive fallback Emit uses."""
+    try:
+        return format_string % tuple(values)
+    except (TypeError, ValueError):
+        return format_string + " " + " ".join(str(v) for v in values)
+
+
 @dataclass
 class ExecutionResult:
     """Outputs plus the cycle report of one entry-point run."""
@@ -147,30 +198,10 @@ class Simulator:
 
     def _as_buffer(self, value, array_type: ArrayType,
                    name: str) -> np.ndarray:
-        dtype = numpy_dtype(array_type.elem.kind)
-        array = np.asarray(value)
-        if array.size != array_type.numel:
-            raise SimulationError(
-                f"argument {name!r}: expected {array_type.numel} elements, "
-                f"got {array.size}")
-        return np.ascontiguousarray(
-            array.reshape(-1, order="F").astype(dtype, copy=True))
+        return as_buffer(value, array_type, name)
 
     def _coerce_scalar(self, value, scalar_type: ScalarType):
-        if isinstance(value, np.ndarray):
-            if value.size != 1:
-                raise SimulationError(
-                    f"expected a scalar argument, got an array of "
-                    f"{value.size} elements")
-            value = value.reshape(-1)[0]
-        kind = scalar_type.kind
-        if kind.is_complex:
-            return complex(value)
-        if kind is ScalarKind.BOOL:
-            return bool(value)
-        if kind.is_integer:
-            return int(value)
-        return float(value)
+        return coerce_scalar(value, scalar_type)
 
     # ------------------------------------------------------------------
     # Statements
@@ -249,10 +280,7 @@ class Simulator:
                 f"cannot execute statement {type(stmt).__name__}")
 
     def _format_emit(self, format_string: str, values: list[object]) -> str:
-        try:
-            return format_string % tuple(values)
-        except (TypeError, ValueError):
-            return format_string + " " + " ".join(str(v) for v in values)
+        return format_emit(format_string, values)
 
     def _exec_for(self, stmt: ir.ForRange, frame: _Frame) -> None:
         start = int(self._eval(stmt.start, frame))
@@ -387,15 +415,7 @@ class Simulator:
         return ScalarType(ScalarKind.F64)
 
     def _from_numpy(self, value):
-        if isinstance(value, (np.complexfloating,)):
-            return complex(value)
-        if isinstance(value, (np.floating,)):
-            return float(value)
-        if isinstance(value, (np.integer,)):
-            return int(value)
-        if isinstance(value, (np.bool_,)):
-            return bool(value)
-        return value
+        return from_numpy(value)
 
     def _cast_value(self, value, target: ScalarType):
         kind = target.kind

@@ -1,0 +1,216 @@
+"""Content-addressed compilation cache + memoization tests.
+
+Covers the cache-key construction (hits on identical inputs,
+invalidation on every input that can change the produced module), the
+in-memory LRU, the on-disk pickle layer, and the satellite
+memoizations: ``load_processor``, ``generate_header`` and
+``CompilationResult.instruction_mix``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import cache
+from repro.asip.header_gen import generate_header
+from repro.asip.isa_library import load_processor
+from repro.compiler import CompilerOptions, arg, compile_source
+
+SRC = "function y = f(x, h)\ny = x(1) * h(1) + x(2) * h(2);\nend"
+ARGS = [arg((1, 4)), arg((1, 4))]
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Each test gets a private process-wide cache with no disk layer."""
+    cache.configure(cache_dir=None)
+    yield
+    cache.configure(cache_dir=None)
+
+
+def _key(source=SRC, args=ARGS, entry=None, processor="vliw_simd_dsp",
+         options=None, filename="<string>"):
+    return cache.cache_key(source, args, entry,
+                           load_processor(processor),
+                           options or CompilerOptions(), filename)
+
+
+# ----------------------------------------------------------------------
+# Cache keys
+# ----------------------------------------------------------------------
+
+
+def test_key_stable_for_identical_inputs():
+    assert _key() == _key()
+
+
+def test_key_changes_with_source():
+    assert _key() != _key(source=SRC.replace("+", "-"))
+
+
+def test_key_changes_with_arg_signature():
+    assert _key() != _key(args=[arg((1, 8)), arg((1, 4))])
+    assert _key() != _key(args=[arg((1, 4), dtype="single"), arg((1, 4))])
+    assert _key() != _key(args=[arg((1, 4), complex=True), arg((1, 4))])
+    assert _key() != _key(args=[arg((1, 4), value=2.0), arg((1, 4))])
+
+
+def test_key_changes_with_entry_and_filename():
+    assert _key() != _key(entry="f")
+    assert _key() != _key(filename="f.m")
+
+
+def test_key_changes_with_options():
+    assert _key() != _key(options=CompilerOptions.baseline())
+    assert _key() != _key(options=CompilerOptions(simd=False))
+
+
+def test_key_changes_with_processor():
+    assert _key() != _key(processor="generic_scalar_dsp")
+
+
+def test_key_changes_with_processor_cost_table():
+    proc = load_processor("vliw_simd_dsp")
+    tweaked = dataclasses.replace(proc)
+    tweaked.costs = dataclasses.replace(proc.costs, mul=proc.costs.mul + 1)
+    options = CompilerOptions()
+    assert cache.cache_key(SRC, ARGS, None, proc, options) != \
+        cache.cache_key(SRC, ARGS, None, tweaked, options)
+
+
+# ----------------------------------------------------------------------
+# compile_source integration
+# ----------------------------------------------------------------------
+
+
+def test_compile_source_hits_cache():
+    first = compile_source(SRC, args=ARGS)
+    before = cache.stats()
+    second = compile_source(SRC, args=ARGS)
+    after = cache.stats()
+    assert second is first
+    assert after["hits"] == before["hits"] + 1
+
+
+def test_compile_source_use_cache_false_bypasses():
+    first = compile_source(SRC, args=ARGS)
+    second = compile_source(SRC, args=ARGS, use_cache=False)
+    assert second is not first
+    assert len(cache.default_cache()) == 1
+
+
+def test_cached_result_still_simulates():
+    first = compile_source(SRC, args=ARGS)
+    second = compile_source(SRC, args=ARGS)
+    x = np.array([[1.0, 2.0, 3.0, 4.0]])
+    h = np.array([[0.5, 0.25, 0.0, 0.0]])
+    run = second.simulate([x, h])
+    assert run.outputs[0] == pytest.approx(1.0)
+    assert first.simulate([x, h], backend="reference").report.total == \
+        run.report.total
+
+
+def test_different_options_compile_separately():
+    optimized = compile_source(SRC, args=ARGS)
+    baseline = compile_source(SRC, args=ARGS,
+                              options=CompilerOptions.baseline())
+    assert baseline is not optimized
+    assert len(cache.default_cache()) == 2
+
+
+# ----------------------------------------------------------------------
+# LRU + disk layer
+# ----------------------------------------------------------------------
+
+
+def test_lru_eviction():
+    store = cache.CompilationCache(maxsize=2)
+    store.put("a", "ra")
+    store.put("b", "rb")
+    store.get("a")                     # refresh 'a'
+    store.put("c", "rc")               # evicts 'b'
+    assert store.get("a") == "ra"
+    assert store.get("b") is None
+    assert store.get("c") == "rc"
+    assert len(store) == 2
+
+
+def test_disk_layer_round_trip(tmp_path):
+    cache.configure(cache_dir=tmp_path)
+    result = compile_source(SRC, args=ARGS)
+    key = _key()
+    assert (tmp_path / key[:2] / f"{key}.pkl").is_file()
+
+    # A fresh process-wide cache (cold memory) must hit the disk layer
+    # and the revived result must still run on both backends.
+    store = cache.configure(cache_dir=tmp_path)
+    revived = compile_source(SRC, args=ARGS)
+    assert revived is not result
+    assert store.stats()["disk_hits"] == 1
+    x = np.array([[1.0, 2.0, 3.0, 4.0]])
+    h = np.array([[0.5, 0.25, 0.0, 0.0]])
+    comp = revived.simulate([x, h], backend="compiled")
+    ref = revived.simulate([x, h], backend="reference")
+    assert comp.outputs[0] == ref.outputs[0]
+    assert comp.report.total == ref.report.total
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    store = cache.configure(cache_dir=tmp_path)
+    key = _key()
+    path = tmp_path / key[:2] / f"{key}.pkl"
+    path.parent.mkdir(parents=True)
+    path.write_bytes(b"not a pickle")
+    assert store.get(key) is None
+    assert not path.exists()           # corrupt entry dropped
+    compile_source(SRC, args=ARGS)     # and recompilation repopulates it
+    assert path.is_file()
+
+
+def test_pickled_result_drops_runtime_state():
+    result = compile_source(SRC, args=ARGS)
+    result.compiled_program()
+    result.instruction_mix([np.ones((1, 4)), np.ones((1, 4))])
+    revived = pickle.loads(pickle.dumps(result))
+    assert not hasattr(revived, "_compiled_program")
+    assert not hasattr(revived, "_last_sim_result")
+
+
+# ----------------------------------------------------------------------
+# Satellite memoizations
+# ----------------------------------------------------------------------
+
+
+def test_load_processor_is_memoized():
+    assert load_processor("vliw_simd_dsp") is load_processor("vliw_simd_dsp")
+
+
+def test_processor_fingerprint_semantics():
+    proc = load_processor("vliw_simd_dsp")
+    assert proc.fingerprint() == proc.fingerprint()
+    assert proc == dataclasses.replace(proc)
+    assert hash(proc) == hash(dataclasses.replace(proc))
+    other = load_processor("generic_scalar_dsp")
+    assert proc.fingerprint() != other.fingerprint()
+    assert proc != other
+
+
+def test_generate_header_is_memoized():
+    proc = load_processor("vliw_simd_dsp")
+    assert generate_header(proc) is generate_header(proc)
+
+
+def test_instruction_mix_reuses_last_simulation():
+    result = compile_source(SRC, args=ARGS)
+    x = np.array([[1.0, 2.0, 3.0, 4.0]])
+    h = np.array([[0.5, 0.25, 0.0, 0.0]])
+    run = result.simulate([x, h])
+    mix = result.instruction_mix([x, h])
+    assert mix is run.report.instruction_counts   # no re-simulation
+    run2 = result.simulate([x * 2, h])            # different values
+    assert result.instruction_mix([x * 2, h]) is \
+        run2.report.instruction_counts
