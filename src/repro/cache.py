@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
 from repro.asip.model import ProcessorDescription
+from repro.observe import trace as obs_trace
 from repro.semantics.types import MType
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -87,6 +88,7 @@ class CompilationCache:
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.evictions = 0
         if cache_dir is None:
             cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
         self.cache_dir = Path(cache_dir) if cache_dir else None
@@ -94,18 +96,23 @@ class CompilationCache:
     # -- in-memory layer ----------------------------------------------
 
     def get(self, key: str) -> "CompilationResult | None":
+        session = obs_trace.current()
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
             self.hits += 1
+            session.counter("cache.hit")
             return entry
         entry = self._disk_get(key)
         if entry is not None:
             self.hits += 1
             self.disk_hits += 1
+            session.counter("cache.hit")
+            session.counter("cache.disk_hit")
             self._remember(key, entry)
             return entry
         self.misses += 1
+        session.counter("cache.miss")
         return None
 
     def put(self, key: str, result: "CompilationResult") -> None:
@@ -117,6 +124,8 @@ class CompilationCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            obs_trace.current().counter("cache.evict")
 
     # -- disk layer ----------------------------------------------------
 
@@ -159,14 +168,15 @@ class CompilationCache:
 
     def clear(self) -> None:
         self._entries.clear()
-        self.hits = self.misses = self.disk_hits = 0
+        self.hits = self.misses = self.disk_hits = self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "disk_hits": self.disk_hits, "size": len(self._entries)}
+                "disk_hits": self.disk_hits, "evictions": self.evictions,
+                "size": len(self._entries)}
 
 
 _default_cache = CompilationCache()

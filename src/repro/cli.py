@@ -18,11 +18,16 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro.asip.isa_library import available_processors, load_processor
 from repro.compiler import CompilerOptions, arg as make_arg, compile_source
 from repro.errors import ReproError
+from repro.observe import TraceSession, trace as obs_trace
+from repro.observe.hotspots import annotate_source
+from repro.observe.metrics import build_report, write_report
 from repro.semantics.types import dtype_from_name
 
 
@@ -92,6 +97,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="print per-stage compilation timing (and "
                              "simulation wall time with --simulate)")
+    parser.add_argument("--trace-json", metavar="FILE",
+                        default=os.environ.get("REPRO_TRACE") or None,
+                        help="write a Chrome trace-event JSON of the "
+                             "compile (and simulation) to FILE; loadable "
+                             "in Perfetto / chrome://tracing (default: "
+                             "the REPRO_TRACE environment variable)")
+    parser.add_argument("--remarks", nargs="?", const="all", default=None,
+                        metavar="PASS",
+                        help="print optimization remarks to stderr; give "
+                             "a pass name (e.g. simd-vectorize) to "
+                             "filter, omit for all passes")
+    parser.add_argument("--print-changed", action="store_true",
+                        help="print the IR to stderr after every pass "
+                             "that changed a function")
+    parser.add_argument("--hotspots", action="store_true",
+                        help="with --simulate: profile per-line cycles "
+                             "and print an annotated-source hotspot "
+                             "table")
+    parser.add_argument("--metrics-json", metavar="FILE", default=None,
+                        help="write a machine-readable JSON report of "
+                             "compile/simulation metrics to FILE")
     parser.add_argument("--emit-header", action="store_true",
                         help="print only the intrinsics header")
     parser.add_argument("--list-processors", action="store_true",
@@ -119,6 +145,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if options.source is None:
         parser.error("a MATLAB source file is required")
+    if options.hotspots and not options.simulate:
+        parser.error("--hotspots requires --simulate")
 
     try:
         with open(options.source) as handle:
@@ -134,24 +162,46 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro-mc: {exc}", file=sys.stderr)
         return 1
 
+    # One explicit session spans compile and simulation when any
+    # observability output was requested; otherwise stay on the
+    # disabled ambient session (zero overhead beyond the compile's
+    # own built-in event collection).
+    observing = bool(options.trace_json or options.metrics_json
+                     or options.print_changed)
+    session = TraceSession() if observing else obs_trace.current()
+    session.print_changed = options.print_changed
+
     pipeline = CompilerOptions.baseline() if options.baseline \
         else CompilerOptions(simd=not options.no_simd,
                              complex_isel=not options.no_complex)
-    try:
-        result = compile_source(source, args=specs, entry=options.entry,
-                                processor=options.processor,
-                                options=pipeline,
-                                filename=options.source,
-                                use_cache=not options.no_cache)
-    except ReproError as exc:
-        print(f"repro-mc: error: {exc}", file=sys.stderr)
-        return 1
+    with obs_trace.use(session):
+        try:
+            result = compile_source(source, args=specs, entry=options.entry,
+                                    processor=options.processor,
+                                    options=pipeline,
+                                    filename=options.source,
+                                    use_cache=not options.no_cache)
+        except ReproError as exc:
+            print(f"repro-mc: error: {exc}", file=sys.stderr)
+            return 1
 
-    if options.profile:
-        _print_profile(result)
+        if options.remarks is not None:
+            _print_remarks(result, options.remarks)
+        if options.profile:
+            _print_profile(result)
 
+        status, run = 0, None
+        if options.simulate:
+            status, run = _simulate(result, source, specs, options)
+
+    if options.trace_json:
+        with open(options.trace_json, "w") as handle:
+            json.dump(session.to_chrome_trace(), handle, indent=1)
+    if options.metrics_json:
+        write_report(options.metrics_json,
+                     build_report(result=result, run=run, session=session))
     if options.simulate:
-        return _simulate(result, source, specs, options)
+        return status
 
     if options.dump_ir:
         text = result.ir_dump()
@@ -163,23 +213,46 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _print_remarks(result, which: str) -> None:
+    """Print (optionally pass-filtered) optimization remarks to stderr."""
+    filename = result.source.filename
+    shown = 0
+    for remark in result.remarks:
+        if which not in ("all", remark.pass_name):
+            continue
+        print(remark.format(filename), file=sys.stderr)
+        shown += 1
+    if shown == 0:
+        scope = "" if which == "all" else f" from pass {which!r}"
+        print(f"repro-mc: no remarks{scope}", file=sys.stderr)
+
+
 def _print_profile(result) -> None:
     """Per-stage compilation timing collected by compile_source."""
     if not result.stage_times:
-        print("profile: (cached result; no stage timings recorded)")
+        print("profile: (no stage timings recorded)")
         return
-    print("compilation profile:")
+    hits = getattr(result, "cache_hits", 0)
+    if hits:
+        print(f"compilation profile (cache hit x{hits}; timings are "
+              "from the original compile):")
+    else:
+        print("compilation profile:")
     for stage, seconds in result.stage_times.items():
         print(f"  {stage:<14} {seconds * 1e3:8.2f} ms")
 
 
-def _simulate(result, source: str, specs, options) -> int:
-    """Run the compiled entry on random inputs; print the cycle report."""
+def _simulate(result, source: str, specs, options):
+    """Run the compiled entry on random inputs; print the cycle report.
+
+    Returns ``(exit_status, ExecutionResult | None)`` so the caller can
+    fold the run into ``--metrics-json``.
+    """
     import time
 
     import numpy as np
 
-    from repro.ir.types import ArrayType, ScalarType
+    from repro.ir.types import ArrayType
     from repro.sim.machine import numpy_dtype
 
     rng = np.random.default_rng(options.seed)
@@ -196,10 +269,11 @@ def _simulate(result, source: str, specs, options) -> int:
 
     t0 = time.perf_counter()
     try:
-        run = result.simulate(inputs, backend=options.backend)
+        run = result.simulate(inputs, backend=options.backend,
+                              hotspots=options.hotspots)
     except (ReproError, ValueError) as exc:
         print(f"repro-mc: error: {exc}", file=sys.stderr)
-        return 1
+        return 1, None
     sim_wall = time.perf_counter() - t0
     print(f"entry: {result.entry_name} on {result.processor.name} "
           f"(seed {options.seed})")
@@ -215,6 +289,9 @@ def _simulate(result, source: str, specs, options) -> int:
             print(f"  {name:<20} x{run.report.instruction_counts[name]}")
     else:
         print("custom instructions: (none selected)")
+    if options.hotspots:
+        print()
+        print(annotate_source(result.source, run.line_cycles))
 
     if options.compare_baseline:
         baseline = compile_source(source, args=specs,
@@ -226,7 +303,7 @@ def _simulate(result, source: str, specs, options) -> int:
         speedup = base_run.report.total / max(run.report.total, 1)
         print(f"baseline cycles: {base_run.report.total}")
         print(f"speedup: {speedup:.2f}x")
-    return 0
+    return 0, run
 
 
 def _write_output(text: str, path: str | None) -> None:

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import hashlib
 import os
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -35,14 +34,13 @@ from repro.frontend.parser import parse
 from repro.frontend.source import SourceFile
 from repro.ir import nodes as ir
 from repro.ir.builder import lower_program
-from repro.ir.passes.manager import (
-    PassManager,
-    cleanup_pipeline,
-    standard_pipeline,
-)
+from repro.ir.passes.manager import cleanup_pipeline, standard_pipeline
+from repro.observe import trace as obs_trace
+from repro.observe.remarks import Remark
+from repro.observe.trace import TraceSession
 from repro.semantics.inference import SpecializedProgram, specialize_program
 from repro.semantics.shapes import Shape
-from repro.semantics.types import DType, MType, dtype_from_name
+from repro.semantics.types import MType, dtype_from_name
 from repro.vectorize.complexops import ComplexInstructionSelector
 from repro.vectorize.idioms import ClipSelector, ScalarMacSelector
 from repro.vectorize.simd import SimdVectorizer
@@ -90,7 +88,12 @@ SIM_BACKENDS = ("compiled", "reference")
 #: Lazily-built per-result runtime state that must never be pickled
 #: (the compiled program holds exec'd code objects) or shared through
 #: the compilation cache's disk layer.
-_RUNTIME_ATTRS = ("_compiled_program", "_last_sim_key", "_last_sim_result")
+_RUNTIME_ATTRS = ("_compiled_program", "_compiled_program_profiled",
+                  "_sim_runs", "_trace")
+
+#: Bound on the per-result (args, backend) -> ExecutionResult store
+#: that backs :meth:`CompilationResult.instruction_mix` reuse.
+_SIM_RUN_LIMIT = 8
 
 
 def _args_signature(args: list[object]) -> tuple:
@@ -118,10 +121,23 @@ class CompilationResult:
     source: SourceFile
     pass_stats: dict[str, int] = field(default_factory=dict)
     stage_times: dict[str, float] = field(default_factory=dict)
+    #: Optimization remarks collected while this result was compiled
+    #: (passed/missed/analysis decisions with MATLAB source lines).
+    remarks: list[Remark] = field(default_factory=list)
+    #: Times this exact result was served from the compilation cache
+    #: (0 for a fresh compile).  ``stage_times`` always describe the
+    #: original compilation, so cache hits keep their provenance.
+    cache_hits: int = 0
 
     @property
     def entry_name(self) -> str:
         return self.module.entry
+
+    @property
+    def trace(self) -> "TraceSession | None":
+        """The trace session of the compile that produced this result
+        (None on cache-shared or unpickled results)."""
+        return getattr(self, "_trace", None)
 
     def c_source(self, with_main: bool = False) -> str:
         """Generated ANSI C (one translation unit, including intrinsics
@@ -133,16 +149,31 @@ class CompilationResult:
         from repro.asip.header_gen import generate_header
         return generate_header(self.processor)
 
-    def compiled_program(self):
-        """The compiled-closure executor for this module (built once)."""
-        program = getattr(self, "_compiled_program", None)
+    def compiled_program(self, profile_lines: bool = False):
+        """The compiled-closure executor for this module (built once;
+        the line-profiling variant is compiled and cached separately)."""
+        attr = "_compiled_program_profiled" if profile_lines \
+            else "_compiled_program"
+        program = getattr(self, attr, None)
         if program is None:
             from repro.sim.compiled import CompiledProgram
-            program = CompiledProgram(self.module, self.processor)
-            self._compiled_program = program
+            program = CompiledProgram(self.module, self.processor,
+                                      profile_lines=profile_lines)
+            setattr(self, attr, program)
         return program
 
-    def simulate(self, args: list[object], backend: str | None = None):
+    @staticmethod
+    def _resolve_backend(backend: str | None) -> str:
+        if backend is None:
+            backend = os.environ.get("REPRO_SIM_BACKEND", "compiled")
+        if backend not in SIM_BACKENDS:
+            raise ValueError(
+                f"unknown simulator backend {backend!r}; "
+                f"expected one of {SIM_BACKENDS}")
+        return backend
+
+    def simulate(self, args: list[object], backend: str | None = None,
+                 hotspots: bool = False):
         """Run on the cycle-accurate ASIP model; returns ExecutionResult.
 
         Args:
@@ -154,43 +185,66 @@ class CompilationResult:
                 overridden with the ``REPRO_SIM_BACKEND`` environment
                 variable.  Both backends produce identical outputs and
                 identical cycle reports.
+            hotspots: also record per-source-line cycle attribution
+                (``ExecutionResult.line_cycles`` / ``hotspots()``).
+                Both backends attribute identically.
         """
-        if backend is None:
-            backend = os.environ.get("REPRO_SIM_BACKEND", "compiled")
-        if backend == "compiled":
-            result = self.compiled_program().run(args)
-        elif backend == "reference":
-            from repro.sim.machine import Simulator
-            result = Simulator(self.module, self.processor).run(args)
-        else:
-            raise ValueError(
-                f"unknown simulator backend {backend!r}; "
-                f"expected one of {SIM_BACKENDS}")
-        self._last_sim_key = _args_signature(args)
-        self._last_sim_result = result
+        backend = self._resolve_backend(backend)
+        session = obs_trace.current()
+        with session.span("simulate", "sim", backend=backend,
+                          entry=self.entry_name) as span:
+            if backend == "compiled":
+                result = self.compiled_program(
+                    profile_lines=hotspots).run(args)
+            else:
+                from repro.sim.machine import Simulator
+                result = Simulator(self.module, self.processor,
+                                   profile_lines=hotspots).run(args)
+            span.set(cycles=result.report.total)
+        session.counter("sim.runs")
+        runs = getattr(self, "_sim_runs", None)
+        if runs is None:
+            runs = {}
+            self._sim_runs = runs
+        runs[(_args_signature(args), backend)] = result
+        while len(runs) > _SIM_RUN_LIMIT:
+            del runs[next(iter(runs))]
         return result
 
     def ir_dump(self) -> str:
         from repro.ir.printer import format_module
         return format_module(self.module)
 
-    def instruction_mix(self, args: list[object]) -> dict[str, int]:
+    def instruction_mix(self, args: list[object],
+                        backend: str | None = None) -> dict[str, int]:
         """Custom-instruction counts for one input set.
 
-        Reuses the most recent :meth:`simulate` result when it was
-        produced from value-identical arguments instead of re-running
-        the whole simulation.
+        Reuses a previous :meth:`simulate` result when one was produced
+        from value-identical arguments on the same backend, instead of
+        re-running the whole simulation.  The reuse store is keyed per
+        (argument values, backend) so cache-shared results never serve
+        another caller's run.
         """
-        key = _args_signature(args)
-        if getattr(self, "_last_sim_key", None) != key:
-            self.simulate(args)
-        return self._last_sim_result.report.instruction_counts
+        backend = self._resolve_backend(backend)
+        key = (_args_signature(args), backend)
+        runs = getattr(self, "_sim_runs", None)
+        run = runs.get(key) if runs is not None else None
+        if run is None:
+            run = self.simulate(args, backend=backend)
+        return run.report.instruction_counts
 
     def __getstate__(self):
         state = dict(self.__dict__)
         for name in _RUNTIME_ATTRS:
             state.pop(name, None)
         return state
+
+    def __setstate__(self, state):
+        # Disk-cache entries written by older versions predate the
+        # remarks/cache_hits fields; default them on load.
+        self.__dict__.update(state)
+        self.__dict__.setdefault("remarks", [])
+        self.__dict__.setdefault("cache_hits", 0)
 
 
 def compile_source(source: str,
@@ -199,7 +253,9 @@ def compile_source(source: str,
                    processor: "ProcessorDescription | str" = "vliw_simd_dsp",
                    options: CompilerOptions | None = None,
                    filename: str = "<string>",
-                   use_cache: bool = True) -> CompilationResult:
+                   use_cache: bool = True,
+                   observer: "TraceSession | None" = None) \
+        -> CompilationResult:
     """Compile MATLAB ``source`` for one entry-point signature.
 
     Args:
@@ -212,6 +268,11 @@ def compile_source(source: str,
         use_cache: consult the content-addressed compilation cache
             (:mod:`repro.cache`).  Results are shared on a hit — treat
             them as immutable.
+        observer: trace session to collect spans/counters/remarks into;
+            defaults to the ambient session
+            (:func:`repro.observe.trace.current`) or, when none is
+            installed, a private one (so stage timings and remarks are
+            always available on the result).
     """
     from repro import cache as _cache
 
@@ -219,84 +280,118 @@ def compile_source(source: str,
         processor = load_processor(processor)
     options = options or CompilerOptions()
 
-    key = None
-    if use_cache:
-        key = _cache.cache_key(source, args, entry, processor, options,
-                               filename)
-        cached = _cache.default_cache().get(key)
-        if cached is not None:
-            return cached
+    session = observer if observer is not None else obs_trace.current()
+    if not session.enabled:
+        session = TraceSession()
+    remark_mark = len(session.remarks)
 
+    with obs_trace.use(session):
+        key = None
+        if use_cache:
+            key = _cache.cache_key(source, args, entry, processor,
+                                   options, filename)
+            cached = _cache.default_cache().get(key)
+            if cached is not None:
+                # Shared hit: stage_times/remarks keep describing the
+                # original compile; only the hit marker advances.
+                cached.cache_hits += 1
+                return cached
+        result = _compile_uncached(source, args, entry, processor,
+                                   options, filename, session,
+                                   remark_mark)
+        if key is not None:
+            _cache.default_cache().put(key, result)
+    return result
+
+
+def _compile_uncached(source, args, entry, processor, options, filename,
+                      session, remark_mark) -> CompilationResult:
     times: dict[str, float] = {}
-    t_total = time.perf_counter()
+    with session.span("compile", "compile", processor=processor.name,
+                      mode=options.mode) as total_span:
+        with session.span("parse", "stage") as span:
+            source_file = SourceFile(source, filename)
+            program = parse(source, filename)
+        times["parse"] = span.duration
+        if entry is None:
+            main = program.main_function()
+            if main is None:
+                raise ValueError(
+                    "source defines no functions; scripts cannot "
+                    "be compiled (wrap the code in a function)")
+            entry = main.name
 
-    t0 = time.perf_counter()
-    source_file = SourceFile(source, filename)
-    program = parse(source, filename)
-    times["parse"] = time.perf_counter() - t0
-    if entry is None:
-        main = program.main_function()
-        if main is None:
-            raise ValueError("source defines no functions; scripts cannot "
-                             "be compiled (wrap the code in a function)")
-        entry = main.name
+        with session.span("specialize", "stage") as span:
+            sprog = specialize_program(program, entry, list(args),
+                                       source_file)
+        times["specialize"] = span.duration
+        lowering_mode = "naive" if options.mode == "baseline" else "fused"
+        with session.span("lower", "stage") as span:
+            module = lower_program(sprog, mode=lowering_mode)
+        times["lower"] = span.duration
 
-    t0 = time.perf_counter()
-    sprog = specialize_program(program, entry, list(args), source_file)
-    times["specialize"] = time.perf_counter() - t0
-    lowering_mode = "naive" if options.mode == "baseline" else "fused"
-    t0 = time.perf_counter()
-    module = lower_program(sprog, mode=lowering_mode)
-    times["lower"] = time.perf_counter() - t0
+        stats: dict[str, int] = {}
+        if options.inline:
+            from repro.ir.passes.inline import FunctionInlining
+            with session.span("inline", "stage") as span:
+                if FunctionInlining().run_module(module):
+                    stats["inline"] = 1
+            times["inline"] = span.duration
+        if options.scalar_opt:
+            with session.span("scalar-opt", "stage") as span:
+                _merge_stats(stats, standard_pipeline().run(module))
+            times["scalar-opt"] = span.duration
 
-    stats: dict[str, int] = {}
-    if options.inline:
-        from repro.ir.passes.inline import FunctionInlining
-        t0 = time.perf_counter()
-        if FunctionInlining().run_module(module):
-            stats["inline"] = 1
-        times["inline"] = time.perf_counter() - t0
-    if options.scalar_opt:
-        t0 = time.perf_counter()
-        stats.update(standard_pipeline().run(module))
-        times["scalar-opt"] = time.perf_counter() - t0
+        if options.simd:
+            with session.span("simd", "stage") as span:
+                vectorizer = SimdVectorizer(processor)
+                for func in module.functions:
+                    if vectorizer.run(func):
+                        stats["simd-vectorize"] = \
+                            stats.get("simd-vectorize", 0) + 1
+            times["simd"] = span.duration
+        if options.complex_isel:
+            with session.span("complex-isel", "stage") as span:
+                selector = ComplexInstructionSelector(processor)
+                for func in module.functions:
+                    if selector.run(func):
+                        stats["complex-select"] = \
+                            stats.get("complex-select", 0) + 1
+            times["complex-isel"] = span.duration
+        if options.scalar_mac:
+            with session.span("idiom-select", "stage") as span:
+                mac = ScalarMacSelector(processor)
+                clip = ClipSelector(processor)
+                for func in module.functions:
+                    if clip.run(func):
+                        stats["clip-idiom"] = \
+                            stats.get("clip-idiom", 0) + 1
+                    if mac.run(func):
+                        stats["scalar-mac"] = \
+                            stats.get("scalar-mac", 0) + 1
+            times["idiom-select"] = span.duration
+        if options.scalar_opt:
+            # CSE + cleanup after instruction selection (CSE before the
+            # vectorizer would hide its loop patterns behind
+            # temporaries).
+            with session.span("cleanup", "stage") as span:
+                _merge_stats(stats, cleanup_pipeline().run(module))
+            times["cleanup"] = span.duration
 
-    if options.simd:
-        t0 = time.perf_counter()
-        vectorizer = SimdVectorizer(processor)
-        for func in module.functions:
-            if vectorizer.run(func):
-                stats["simd-vectorize"] = stats.get("simd-vectorize", 0) + 1
-        times["simd"] = time.perf_counter() - t0
-    if options.complex_isel:
-        t0 = time.perf_counter()
-        selector = ComplexInstructionSelector(processor)
-        for func in module.functions:
-            if selector.run(func):
-                stats["complex-select"] = stats.get("complex-select", 0) + 1
-        times["complex-isel"] = time.perf_counter() - t0
-    if options.scalar_mac:
-        t0 = time.perf_counter()
-        mac = ScalarMacSelector(processor)
-        clip = ClipSelector(processor)
-        for func in module.functions:
-            if clip.run(func):
-                stats["clip-idiom"] = stats.get("clip-idiom", 0) + 1
-            if mac.run(func):
-                stats["scalar-mac"] = stats.get("scalar-mac", 0) + 1
-        times["idiom-select"] = time.perf_counter() - t0
-    if options.scalar_opt:
-        # CSE + cleanup after instruction selection (CSE before the
-        # vectorizer would hide its loop patterns behind temporaries).
-        t0 = time.perf_counter()
-        stats.update(cleanup_pipeline().run(module))
-        times["cleanup"] = time.perf_counter() - t0
-
-    times["total"] = time.perf_counter() - t_total
+    times["total"] = total_span.duration
     result = CompilationResult(module=module, sprog=sprog,
                                processor=processor, options=options,
                                source=source_file, pass_stats=stats,
-                               stage_times=times)
-    if key is not None:
-        _cache.default_cache().put(key, result)
+                               stage_times=times,
+                               remarks=list(
+                                   session.remarks[remark_mark:]))
+    result._trace = session
     return result
+
+
+def _merge_stats(stats: dict[str, int], new: dict[str, int]) -> None:
+    """Accumulate pipeline statistics additively (the standard and
+    cleanup pipelines both report pass counts and per-function round
+    counts; later runs add to earlier ones instead of overwriting)."""
+    for name, count in new.items():
+        stats[name] = stats.get(name, 0) + count

@@ -22,7 +22,7 @@ from __future__ import annotations
 from repro.errors import ParseError
 from repro.frontend import ast_nodes as ast
 from repro.frontend.lexer import tokenize
-from repro.frontend.source import SourceFile, Span
+from repro.frontend.source import SourceFile
 from repro.frontend.tokens import Token, TokenKind
 
 _K = TokenKind

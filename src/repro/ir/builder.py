@@ -115,12 +115,21 @@ class _FunctionLowerer:
         self._temp_counter = 0
         self._name_map: dict[str, str] = {}
         self._narrowed: set[str] = set()
+        self._cur_line = 0
 
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
 
     def emit(self, stmt: ir.Stmt) -> None:
+        if self._cur_line:
+            # Tag the statement (and any nested statements built
+            # wholesale, e.g. loop nests) with the MATLAB source line
+            # currently being lowered; inner statements emitted earlier
+            # already carry their own lines and are left alone.
+            for sub in ir.walk_statements([stmt]):
+                if sub.line == 0:
+                    sub.line = self._cur_line
         self._blocks[-1].append(stmt)
 
     def push_block(self) -> list[ir.Stmt]:
@@ -306,11 +315,21 @@ class _FunctionLowerer:
             self.lower_stmt(stmt)
 
     def lower_stmt(self, stmt: ast.Stmt) -> None:
+        prev_line = self._cur_line
+        if self.sprog.source is not None:
+            self._cur_line = \
+                self.sprog.source.line_col(stmt.span.start)[0]
         method = getattr(self, "_stmt_" + type(stmt).__name__, None)
         if method is None:
             self.unsupported(
                 f"cannot lower statement {type(stmt).__name__}", stmt)
-        method(stmt)
+        # Restore on exit so a compound handler (If/For/While) that
+        # lowers a nested body sees its own line again when it emits
+        # its outer statement, not the body's last line.
+        try:
+            method(stmt)
+        finally:
+            self._cur_line = prev_line
 
     def _stmt_ExprStmt(self, stmt: ast.ExprStmt) -> None:
         expr = stmt.expr

@@ -199,6 +199,13 @@ def walk_expr(expr: Expr) -> Iterator[Expr]:
 class Stmt:
     """Base class of IR statements."""
 
+    #: 1-based MATLAB source line the statement was lowered from
+    #: (0 = compiler-generated / unknown).  Deliberately a plain class
+    #: attribute, not a dataclass field: every subclass is constructed
+    #: positionally, and the line is attached after construction by the
+    #: lowerer (copy.deepcopy and pickle preserve it via __dict__).
+    line = 0
+
     def substatements(self) -> list[list["Stmt"]]:
         """Nested statement lists (for generic traversal)."""
         return []

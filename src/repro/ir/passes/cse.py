@@ -113,7 +113,9 @@ class CommonSubexpressionElimination:
             self._counter += 1
             name = f"cse{self._counter}"
             func.declare(name, sample.type)
-            pre.append(ir.AssignVar(name, sample))
+            assign = ir.AssignVar(name, sample)
+            assign.line = stmt.line  # attribute cycles to the user line
+            pre.append(assign)
             replacements[key] = ir.VarRef(sample.type, name)
 
         def replace(expr: ir.Expr) -> ir.Expr:

@@ -10,8 +10,7 @@ operands dead in the next round.
 from __future__ import annotations
 
 from repro.ir import nodes as ir
-from repro.ir.passes.rewrite import loaded_arrays, stored_arrays, used_vars
-from repro.ir.types import ArrayType
+from repro.ir.passes.rewrite import loaded_arrays, used_vars
 
 
 class DeadCodeElimination:

@@ -10,12 +10,14 @@ from __future__ import annotations
 
 from repro.ir import nodes as ir
 from repro.ir.passes.rewrite import assigned_vars
+from repro.observe import remarks as obs_remarks
 
 
 class LoopInvariantCodeMotion:
     name = "licm"
 
     def run(self, func: ir.IRFunction) -> bool:
+        self._func = func
         return self._walk(func.body)
 
     def _walk(self, body: list[ir.Stmt]) -> bool:
@@ -54,6 +56,12 @@ class LoopInvariantCodeMotion:
             if self._assign_count(loop.body, stmt.name) != 1:
                 break
             hoisted.append(loop.body.pop(0))
+            obs_remarks.passed(
+                self.name,
+                f"hoisted loop-invariant assignment to {stmt.name!r} "
+                "out of the loop",
+                function=self._func.name, line=stmt.line,
+                variable=stmt.name)
         return hoisted
 
     def _runs_at_least_once(self, loop: ir.ForRange) -> bool:

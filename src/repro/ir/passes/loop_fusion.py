@@ -19,12 +19,14 @@ from repro.ir.passes.rewrite import (
     stored_arrays,
     used_vars,
 )
+from repro.observe import remarks as obs_remarks
 
 
 class LoopFusion:
     name = "loop-fusion"
 
     def run(self, func: ir.IRFunction) -> bool:
+        self._func = func
         return self._walk(func.body)
 
     def _walk(self, body: list[ir.Stmt]) -> bool:
@@ -37,6 +39,12 @@ class LoopFusion:
             if isinstance(stmt, ir.ForRange) and index + 1 < len(body):
                 nxt = body[index + 1]
                 if isinstance(nxt, ir.ForRange) and self._fusable(stmt, nxt):
+                    obs_remarks.passed(
+                        self.name,
+                        "fused adjacent conformable loop (from line "
+                        f"{nxt.line}) into this one",
+                        function=self._func.name, line=stmt.line,
+                        fused_line=nxt.line)
                     self._fuse(stmt, nxt)
                     del body[index + 1]
                     changed = True

@@ -9,16 +9,27 @@ here so the ablation benchmarks can switch them off selectively.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Protocol
 
 from repro.ir import nodes as ir
+from repro.observe import remarks as obs_remarks
+from repro.observe import trace as obs_trace
 
 
 class Pass(Protocol):  # pragma: no cover - typing only
     name: str
 
     def run(self, func: ir.IRFunction) -> bool: ...
+
+
+def _print_changed(pass_: Pass, func: ir.IRFunction, round_: int) -> None:
+    """IR-after-pass dump for the CLI's ``--print-changed``."""
+    from repro.ir.printer import format_function
+    print(f";; IR after {pass_.name} "
+          f"(function {func.name}, round {round_})", file=sys.stderr)
+    print(format_function(func), file=sys.stderr)
 
 
 @dataclass
@@ -29,17 +40,43 @@ class PassManager:
     max_rounds: int = 8
 
     def run(self, module: ir.IRModule) -> dict[str, int]:
-        """Run all passes; returns per-pass change counts (diagnostics)."""
+        """Run all passes; returns per-pass change counts (diagnostics).
+
+        Besides per-pass change counts, the stats record the number of
+        fixpoint rounds taken per function under ``rounds[<name>]``
+        keys.  When the ``max_rounds`` safety bound is hit before the
+        pipeline converges, an ``analysis`` remark is emitted into the
+        ambient trace session.
+        """
+        session = obs_trace.current()
         stats: dict[str, int] = {}
         for func in module.functions:
+            rounds = 0
+            converged = False
             for _ in range(self.max_rounds):
+                rounds += 1
                 changed = False
                 for pass_ in self.passes:
-                    if pass_.run(func):
+                    with session.span(pass_.name, "pass",
+                                      function=func.name, round=rounds):
+                        did_change = pass_.run(func)
+                    if did_change:
                         changed = True
                         stats[pass_.name] = stats.get(pass_.name, 0) + 1
+                        if session.print_changed:
+                            _print_changed(pass_, func, rounds)
                 if not changed:
+                    converged = True
                     break
+            stats[f"rounds[{func.name}]"] = \
+                stats.get(f"rounds[{func.name}]", 0) + rounds
+            if not converged:
+                obs_remarks.analysis(
+                    "pass-manager",
+                    f"stopped after max_rounds={self.max_rounds} rounds "
+                    "without reaching a fixpoint; results may be "
+                    "under-optimized",
+                    function=func.name)
         return stats
 
 

@@ -14,7 +14,7 @@ import math
 import numpy as np
 
 from repro.errors import InterpreterError
-from repro.mlab.values import is_scalar, scalar_of, to_value
+from repro.mlab.values import scalar_of, to_value
 
 _CONSTANTS = {
     "pi": math.pi,

@@ -1,0 +1,33 @@
+"""Compiler-wide observability: tracing, remarks, hotspots, metrics.
+
+One coherent event model threads through the whole Figure-1 pipeline:
+
+* :mod:`repro.observe.trace` — nested wall-clock **spans** and named
+  **counters** collected by a :class:`TraceSession`, exportable as
+  Chrome trace-event JSON (loadable in Perfetto / chrome://tracing).
+* :mod:`repro.observe.remarks` — LLVM-style **optimization remarks**
+  (``passed`` / ``missed`` / ``analysis``) with MATLAB source lines,
+  emitted by the vectorizer, the instruction selectors, the loop
+  passes, and the pass manager.
+* :mod:`repro.observe.hotspots` — per-source-line cycle attribution
+  rendered as an annotated-source table.
+* :mod:`repro.observe.metrics` — one machine-readable JSON report
+  (spans + remarks + counters + hotspots) per compile/simulate.
+
+The session in effect is ambient: instrumented code calls
+:func:`current` and emits into whatever session the caller installed
+with :func:`use`.  When no session is installed, a shared *disabled*
+session swallows everything — every emit hook is a single attribute
+check, so observability is zero-cost when off.
+"""
+
+from repro.observe.remarks import Remark
+from repro.observe.trace import Span, TraceSession, current, use
+
+__all__ = [
+    "Remark",
+    "Span",
+    "TraceSession",
+    "current",
+    "use",
+]

@@ -1,0 +1,63 @@
+"""Machine-readable metrics reports (one JSON document per run).
+
+:func:`build_report` assembles everything the observability layer knows
+about one compile (and optionally one simulation) into a single
+JSON-serializable dict: stage timings, pass statistics, cache
+statistics, counters, spans, optimization remarks, and — when the run
+was profiled — the per-line hotspot attribution.  The CLI writes it via
+``--metrics-json FILE``.
+"""
+
+from __future__ import annotations
+
+import json
+
+SCHEMA = "repro-observe-report-v1"
+
+
+def build_report(result=None, run=None, session=None) -> dict:
+    """Assemble one metrics report.
+
+    Args:
+        result: a :class:`repro.compiler.CompilationResult` (optional).
+        run: a :class:`repro.sim.machine.ExecutionResult` (optional).
+        session: a :class:`repro.observe.trace.TraceSession` whose
+            spans/counters to include (optional).
+    """
+    from repro import cache
+
+    report: dict = {"schema": SCHEMA}
+    if result is not None:
+        report["compile"] = {
+            "entry": result.entry_name,
+            "processor": result.processor.name,
+            "mode": result.options.mode,
+            "cache_hits": result.cache_hits,
+            "stage_times_s": dict(result.stage_times),
+            "pass_stats": dict(result.pass_stats),
+            "remarks": [remark.to_dict() for remark in result.remarks],
+        }
+    if run is not None:
+        sim: dict = {
+            "cycles": run.report.total,
+            "by_category": dict(run.report.by_category),
+            "instruction_counts": dict(run.report.instruction_counts),
+        }
+        if run.line_cycles is not None:
+            sim["hotspots"] = [
+                {"line": line, "cycles": cycles}
+                for line, cycles in run.hotspots()
+            ]
+        report["simulation"] = sim
+    if session is not None:
+        report["counters"] = dict(session.counters)
+        report["spans"] = [span.to_dict() for span in session.spans]
+    report["cache"] = cache.stats()
+    return report
+
+
+def write_report(path: str, report: dict) -> None:
+    """Serialize one report to ``path`` as indented JSON."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")

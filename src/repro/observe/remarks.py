@@ -1,0 +1,80 @@
+"""Structured optimization remarks (LLVM ``-Rpass`` style).
+
+A remark records one optimizer decision — a transformation that
+*passed* (was applied), one that was *missed* (and why), or a neutral
+*analysis* note — together with the pass that made it, the function it
+applies to, and the 1-based MATLAB source line it maps back to.
+
+Passes do not take a session argument; they emit through
+:func:`emit` / :func:`passed` / :func:`missed` / :func:`analysis`,
+which route into the ambient :func:`repro.observe.trace.current`
+session (a no-op when observability is disabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Remark kinds, mirroring LLVM's -Rpass / -Rpass-missed / -Rpass-analysis.
+PASSED = "passed"
+MISSED = "missed"
+ANALYSIS = "analysis"
+
+KINDS = (PASSED, MISSED, ANALYSIS)
+
+
+@dataclass
+class Remark:
+    """One optimizer decision with its source location."""
+
+    kind: str                    # "passed" | "missed" | "analysis"
+    pass_name: str               # e.g. "simd-vectorize"
+    message: str                 # human-readable reason/description
+    function: str = ""           # IR function the remark applies to
+    line: int = 0                # 1-based MATLAB line (0 = unknown)
+    args: dict = field(default_factory=dict)
+
+    def format(self, filename: str = "") -> str:
+        """Render one clang-like diagnostic line."""
+        where = f"{filename or '<source>'}:{self.line}: " if self.line \
+            else ""
+        func = f" in {self.function}" if self.function else ""
+        return f"{where}{self.kind} [{self.pass_name}]{func}: " \
+               f"{self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "pass": self.pass_name,
+            "message": self.message,
+            "function": self.function,
+            "line": self.line,
+            "args": dict(self.args),
+        }
+
+
+def emit(kind: str, pass_name: str, message: str, *, function: str = "",
+         line: int = 0, **args) -> Remark:
+    """Emit one remark into the ambient trace session."""
+    from repro.observe import trace
+    remark = Remark(kind, pass_name, message, function, line, args)
+    trace.current().remark(remark)
+    return remark
+
+
+def passed(pass_name: str, message: str, *, function: str = "",
+           line: int = 0, **args) -> Remark:
+    return emit(PASSED, pass_name, message, function=function, line=line,
+                **args)
+
+
+def missed(pass_name: str, message: str, *, function: str = "",
+           line: int = 0, **args) -> Remark:
+    return emit(MISSED, pass_name, message, function=function, line=line,
+                **args)
+
+
+def analysis(pass_name: str, message: str, *, function: str = "",
+             line: int = 0, **args) -> Remark:
+    return emit(ANALYSIS, pass_name, message, function=function, line=line,
+                **args)

@@ -312,13 +312,19 @@ class _FuncCodegen:
         self.program = program
         self.func = func
         self.cost = program.cost
+        self.profile = program.profile_lines
         self.ns: dict[str, object] = dict(_BASE_NS)
         self.ns["_a"] = program.acc
         self.ns["_ic"] = program.icounts
+        self.ns["_lc"] = program.line_cycles
         self.ns["_t"] = program.steps
         self.ns["_MS"] = program.max_steps
         self.ns["_out"] = program.stdout
         self._uid = 0
+        #: Source line of the statement currently being translated;
+        #: charge closures capture it so conditionally-evaluated work
+        #: attributes to the same line the tree-walker charges.
+        self._cur_line = 0
         # Scalars written by Call statements must live in the S dict so
         # the callee-invocation helper can update them; everything else
         # becomes a plain Python local of the generated function.
@@ -367,7 +373,8 @@ class _FuncCodegen:
     # -- accounting ----------------------------------------------------
 
     def flush_lines(self, static: dict[int, int],
-                    counts: dict[str, int]) -> list[str]:
+                    counts: dict[str, int],
+                    linecost: "dict[int, int] | None" = None) -> list[str]:
         lines = []
         for index in sorted(static):
             cycles = static[index]
@@ -375,6 +382,12 @@ class _FuncCodegen:
                 lines.append(f"_a[{index}] += {cycles}")
         for name, count in counts.items():
             lines.append(f"_ic[{name!r}] = _ic.get({name!r}, 0) + {count}")
+        if self.profile and linecost:
+            for line in sorted(linecost):
+                cycles = linecost[line]
+                if cycles:
+                    lines.append(f"_lc[{line}] = "
+                                 f"_lc.get({line}, 0) + {cycles}")
         return lines
 
     def charge_closure(self, static: dict[int, int],
@@ -383,12 +396,17 @@ class _FuncCodegen:
         icounts = self.program.icounts
         pairs = [(i, c) for i, c in sorted(static.items()) if c]
         cpairs = list(counts.items())
+        line_cycles = self.program.line_cycles if self.profile else None
+        line = self._cur_line
+        total = sum(c for _, c in pairs)
 
         def charge():
             for index, cycles in pairs:
                 acc[index] += cycles
             for name, count in cpairs:
                 icounts[name] = icounts.get(name, 0) + count
+            if line_cycles is not None and total:
+                line_cycles[line] = line_cycles.get(line, 0) + total
         return self.bind("_chg", charge)
 
     # -- static int analysis (lets Load/Store skip int() conversions) --
@@ -683,6 +701,7 @@ class _FuncCodegen:
 
     def stmt(self, s: ir.Stmt, intvars: set[str]):
         """Return ``(lines, static_charges, static_counts)``."""
+        self._cur_line = s.line
         if isinstance(s, ir.AssignVar):
             return self._assign_stmt(s, intvars)
         if isinstance(s, ir.Store):
@@ -787,9 +806,12 @@ class _FuncCodegen:
         if not loop_var_reassigned:
             inner.add(s.var)
 
-        body_lines, bstatic, bcounts = self.block(s.body, inner)
+        body_lines, bstatic, bcounts, blc = self.block(s.body, inner)
         _merge(bstatic, {_BRANCH: self.cost.branch()})
-        flush = self.flush_lines(bstatic, bcounts)
+        # Loop-control overhead attributes to the loop's own line,
+        # exactly like the tree-walker's per-iteration branch charge.
+        _merge(blc, {s.line: self.cost.branch()})
+        flush = self.flush_lines(bstatic, bcounts, blc)
 
         if s.var in self.dict_scalars:
             lv = f"_i{self.uid()}"
@@ -815,10 +837,14 @@ class _FuncCodegen:
         intvars.difference_update(body_vars)
         ccode, cstatic, ccounts = self.expr(s.condition, intvars)
         _merge(cstatic, {_BRANCH: self.cost.branch()})
-        check_flush = self.flush_lines(cstatic, ccounts)
+        # Condition check (including the final failing one) belongs to
+        # the while statement's line, as in the tree-walker.
+        check_flush = self.flush_lines(
+            cstatic, ccounts, {s.line: sum(cstatic.values())})
 
-        body_lines, bstatic, bcounts = self.block(s.body, set(intvars))
-        body_flush = self.flush_lines(bstatic, bcounts)
+        body_lines, bstatic, bcounts, blc = self.block(s.body,
+                                                       set(intvars))
+        body_flush = self.flush_lines(bstatic, bcounts, blc)
 
         suite = ["_t[0] += 1", "if _t[0] > _MS: _stepfail()"]
         suite += check_flush
@@ -832,11 +858,11 @@ class _FuncCodegen:
         _merge(static, {_BRANCH: self.cost.branch()})
 
         then_vars = set(intvars)
-        then_lines, tst, tcn = self.block(s.then_body, then_vars)
-        then_suite = self.flush_lines(tst, tcn) + then_lines
+        then_lines, tst, tcn, tlc = self.block(s.then_body, then_vars)
+        then_suite = self.flush_lines(tst, tcn, tlc) + then_lines
         else_vars = set(intvars)
-        else_lines, est, ecn = self.block(s.else_body, else_vars)
-        else_suite = self.flush_lines(est, ecn) + else_lines
+        else_lines, est, ecn, elc = self.block(s.else_body, else_vars)
+        else_suite = self.flush_lines(est, ecn, elc) + else_lines
 
         lines = [f"if {ccode}:"]
         lines.extend("    " + l for l in (then_suite or ["pass"]))
@@ -913,13 +939,17 @@ class _FuncCodegen:
         # Shapes unknown at compile time: fall back to a dynamic helper.
         acc = self.program.acc
         cost_model = self.cost
+        line_cycles = self.program.line_cycles if self.profile else None
+        line = self._cur_line
 
         def copy(dst, src):
             count = min(dst.size, src.size)
             elem_kind = ScalarKind.C128 if np.iscomplexobj(dst) \
                 else ScalarKind.F64
-            acc[_MEM] += count * cost_model.copy_element(
-                ScalarType(elem_kind))
+            cost = count * cost_model.copy_element(ScalarType(elem_kind))
+            acc[_MEM] += cost
+            if line_cycles is not None:
+                line_cycles[line] = line_cycles.get(line, 0) + cost
             dst[:count] = src[:count]
         helper = self.bind("_cpy", copy)
         return [f"{helper}({dalias}, {salias})"], {}, {}
@@ -932,29 +962,38 @@ class _FuncCodegen:
         Static charges of the leading statement group (everything up to
         and including the first statement that can abort the block) are
         hoisted to the caller; later groups flush inline, so a Break /
-        Continue / Return mid-block never over-charges.
+        Continue / Return mid-block never over-charges.  When line
+        profiling is on, each group also carries a per-source-line
+        breakdown of the same static cycles.
         """
-        groups: list[tuple[list[str], dict, dict]] = []
+        groups: list[tuple[list[str], dict, dict, dict]] = []
         cur_lines: list[str] = []
         cur_static: dict[int, int] = {}
         cur_counts: dict[str, int] = {}
+        cur_lc: dict[int, int] = {}
         for s in body:
             slines, sst, scn = self.stmt(s, intvars)
             _merge(cur_static, sst)
             _merge(cur_counts, scn)
+            if self.profile:
+                stmt_cycles = sum(sst.values())
+                if stmt_cycles:
+                    _merge(cur_lc, {s.line: stmt_cycles})
             cur_lines.extend(slines)
             if _can_abrupt(s):
-                groups.append((cur_lines, cur_static, cur_counts))
-                cur_lines, cur_static, cur_counts = [], {}, {}
+                groups.append((cur_lines, cur_static, cur_counts,
+                               cur_lc))
+                cur_lines, cur_static, cur_counts, cur_lc = \
+                    [], {}, {}, {}
         if cur_lines or cur_static or cur_counts:
-            groups.append((cur_lines, cur_static, cur_counts))
+            groups.append((cur_lines, cur_static, cur_counts, cur_lc))
         if not groups:
-            return [], {}, {}
+            return [], {}, {}, {}
         lines = list(groups[0][0])
-        for glines, gst, gcn in groups[1:]:
-            lines.extend(self.flush_lines(gst, gcn))
+        for glines, gst, gcn, glc in groups[1:]:
+            lines.extend(self.flush_lines(gst, gcn, glc))
             lines.extend(glines)
-        return lines, groups[0][1], groups[0][2]
+        return lines, groups[0][1], groups[0][2], groups[0][3]
 
     def epilogue_lines(self) -> list[str]:
         """Write scalar outputs held in locals back to S before leaving."""
@@ -975,8 +1014,10 @@ class _FuncCodegen:
         intvars = {p.name for p in func.params
                    if isinstance(p.type, ScalarType)
                    and p.type.kind.is_integer}
-        body_lines, static, counts = self.block(func.body, intvars)
-        body_lines = self.flush_lines(static, counts) + body_lines
+        body_lines, static, counts, linecost = self.block(func.body,
+                                                          intvars)
+        body_lines = self.flush_lines(static, counts, linecost) + \
+            body_lines
         body_lines += self.epilogue_lines()
 
         prologue = []
@@ -1059,13 +1100,16 @@ class CompiledProgram:
 
     def __init__(self, module: ir.IRModule,
                  processor: ProcessorDescription,
-                 max_steps: int = 200_000_000):
+                 max_steps: int = 200_000_000,
+                 profile_lines: bool = False):
         self.module = module
         self.processor = processor
         self.cost = CostModel(processor)
         self.max_steps = max_steps
+        self.profile_lines = profile_lines
         self.acc: list[int] = [0] * len(_CATEGORIES)
         self.icounts: dict[str, int] = {}
+        self.line_cycles: dict[int, int] = {}
         self.steps: list[int] = [0]
         self.stdout: list[str] = []
         self.compiled: dict[str, CompiledFunction] = {}
@@ -1077,6 +1121,7 @@ class CompiledProgram:
         for index in range(len(acc)):
             acc[index] = 0
         self.icounts.clear()
+        self.line_cycles.clear()
         self.steps[0] = 0
         self.stdout.clear()
 
@@ -1093,8 +1138,11 @@ class CompiledProgram:
             by_category={_CATEGORIES[i]: v
                          for i, v in enumerate(self.acc) if v},
             instruction_counts=dict(self.icounts))
+        line_cycles = dict(self.line_cycles) if self.profile_lines \
+            else None
         return ExecutionResult(outputs=outputs, report=report,
-                               stdout="".join(self.stdout))
+                               stdout="".join(self.stdout),
+                               line_cycles=line_cycles)
 
     def dump_source(self, name: str | None = None) -> str:
         """Generated Python of one function (debugging aid)."""
@@ -1112,9 +1160,11 @@ class CompiledSimulator:
 
     def __init__(self, module: ir.IRModule,
                  processor: ProcessorDescription,
-                 max_steps: int = 200_000_000):
+                 max_steps: int = 200_000_000,
+                 profile_lines: bool = False):
         self.module = module
-        self.program = CompiledProgram(module, processor, max_steps)
+        self.program = CompiledProgram(module, processor, max_steps,
+                                       profile_lines=profile_lines)
 
     def run(self, args: list[object],
             entry: str | None = None) -> ExecutionResult:

@@ -107,6 +107,39 @@ class ExecutionResult:
     outputs: list[object]
     report: CycleReport
     stdout: str = ""
+    #: 1-based MATLAB source line -> cycles charged there (line 0 =
+    #: compiler-generated statements).  None unless the run was
+    #: profiled (``simulate(..., hotspots=True)``).
+    line_cycles: "dict[int, int] | None" = None
+
+    def hotspots(self) -> list[tuple[int, int]]:
+        """(line, cycles) pairs, hottest first.
+
+        Requires a line-profiled run (``hotspots=True``); both
+        simulator backends attribute identically.
+        """
+        if self.line_cycles is None:
+            raise ValueError(
+                "no line profile recorded; run simulate(..., "
+                "hotspots=True) to collect one")
+        from repro.observe.hotspots import line_table
+        return line_table(self.line_cycles)
+
+
+class _LineCycleReport(CycleReport):
+    """CycleReport that also attributes every charge to the source
+    line of the statement currently executing (``self.line``, kept
+    up to date by the simulator's statement dispatch)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.line = 0
+        self.line_cycles: dict[int, int] = {}
+
+    def charge(self, category: str, cycles: int) -> None:
+        super().charge(category, cycles)
+        self.line_cycles[self.line] = \
+            self.line_cycles.get(self.line, 0) + cycles
 
 
 @dataclass
@@ -120,10 +153,13 @@ class Simulator:
 
     def __init__(self, module: ir.IRModule,
                  processor: ProcessorDescription,
-                 max_steps: int = 200_000_000):
+                 max_steps: int = 200_000_000,
+                 profile_lines: bool = False):
         self.module = module
         self.cost = CostModel(processor)
-        self.report = CycleReport()
+        self.profile_lines = profile_lines
+        self.report = _LineCycleReport() if profile_lines \
+            else CycleReport()
         self.max_steps = max_steps
         self._steps = 0
         self._stdout: list[str] = []
@@ -140,14 +176,18 @@ class Simulator:
         flattened in column-major (Fortran) order, matching MATLAB's
         storage that the IR assumes.
         """
-        self.report = CycleReport()
+        self.report = _LineCycleReport() if self.profile_lines \
+            else CycleReport()
         self._stdout = []
         func = self.module.function(entry or self.module.entry)
         if func is None:
             raise SimulationError(f"no function {entry or self.module.entry!r}")
         outputs = self._call_function(func, args)
+        line_cycles = dict(self.report.line_cycles) \
+            if self.profile_lines else None
         return ExecutionResult(outputs=outputs, report=self.report,
-                               stdout="".join(self._stdout))
+                               stdout="".join(self._stdout),
+                               line_cycles=line_cycles)
 
     # ------------------------------------------------------------------
     # Function invocation
@@ -219,6 +259,8 @@ class Simulator:
 
     def _exec_stmt(self, stmt: ir.Stmt, frame: _Frame) -> None:
         self._tick()
+        if self.profile_lines:
+            self.report.line = stmt.line
         if isinstance(stmt, ir.AssignVar):
             value = self._eval(stmt.value, frame)
             self.report.charge("move", self.cost.move())
@@ -289,6 +331,10 @@ class Simulator:
         value = start
         while (value < stop) if step > 0 else (value > stop):
             self._tick()
+            # Loop-control overhead belongs to the loop's own line,
+            # not to whatever body line executed last.
+            if self.profile_lines:
+                self.report.line = stmt.line
             self.report.charge("branch", self.cost.branch())
             frame.scalars[stmt.var] = value
             try:
@@ -304,6 +350,8 @@ class Simulator:
     def _exec_while(self, stmt: ir.While, frame: _Frame) -> None:
         while True:
             self._tick()
+            if self.profile_lines:
+                self.report.line = stmt.line
             self.report.charge("branch", self.cost.branch())
             if not self._eval(stmt.condition, frame):
                 break

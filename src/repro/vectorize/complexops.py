@@ -13,8 +13,9 @@ from __future__ import annotations
 
 from repro.asip.model import ProcessorDescription
 from repro.ir import nodes as ir
-from repro.ir.passes.rewrite import rewrite_tree
+from repro.ir.passes.rewrite import rewrite_stmt_exprs
 from repro.ir.types import ScalarType
+from repro.observe import remarks as obs_remarks
 from repro.vectorize.select import COMPLEX_BINOPS, exprs_equal
 
 
@@ -28,8 +29,26 @@ class ComplexInstructionSelector:
 
     def run(self, func: ir.IRFunction) -> bool:
         self._changed = False
-        rewrite_tree(func.body, self._rewrite)
+        self._func = func
+        self._line = 0
+        self._walk(func.body)
         return self._changed
+
+    def _walk(self, body: list[ir.Stmt]) -> None:
+        # Statement-at-a-time so remarks carry the source line of the
+        # statement whose expression selected the instruction.
+        for stmt in body:
+            self._line = stmt.line
+            rewrite_stmt_exprs(stmt, self._rewrite)
+            for sub in stmt.substatements():
+                self._walk(sub)
+
+    def _select(self, instr, what: str) -> None:
+        self._changed = True
+        obs_remarks.passed(self.name,
+                           f"selected {instr.name!r} for {what}",
+                           function=self._func.name, line=self._line,
+                           instruction=instr.name)
 
     def _rewrite(self, expr: ir.Expr) -> ir.Expr:
         if not isinstance(expr.type, ScalarType) or not expr.type.is_complex:
@@ -45,7 +64,9 @@ class ComplexInstructionSelector:
                                             (expr.right, expr.left)):
                         if self._is_cmul(product):
                             a, b = self._cmul_operands(product)
-                            self._changed = True
+                            self._select(cmac,
+                                         "fused complex multiply-"
+                                         "accumulate x + a*b")
                             return ir.IntrinsicCall(
                                 expr.type, instruction=cmac,
                                 args=[addend, a, b])
@@ -53,7 +74,7 @@ class ComplexInstructionSelector:
             if operation is not None:
                 instr = self.processor.find(operation, kind, 1)
                 if instr is not None:
-                    self._changed = True
+                    self._select(instr, f"complex {expr.op!r}")
                     return ir.IntrinsicCall(expr.type, instruction=instr,
                                             args=[expr.left, expr.right])
             return expr
@@ -61,7 +82,7 @@ class ComplexInstructionSelector:
         if isinstance(expr, ir.MathCall) and expr.name == "conj":
             instr = self.processor.find("cconj", kind, 1)
             if instr is not None:
-                self._changed = True
+                self._select(instr, "complex conjugate")
                 return ir.IntrinsicCall(expr.type, instruction=instr,
                                         args=list(expr.args))
         return expr
@@ -96,7 +117,7 @@ class ComplexInstructionSelector:
         instr = self.processor.find("cmag2", kind, 1)
         if instr is None:
             return expr
-        self._changed = True
+        self._select(instr, "squared magnitude real(z)^2 + imag(z)^2")
         return ir.IntrinsicCall(expr.type, instruction=instr, args=[z])
 
     def _mag2_component(self, expr: ir.Expr, part: str) -> ir.Expr | None:

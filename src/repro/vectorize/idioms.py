@@ -13,22 +13,47 @@ from __future__ import annotations
 
 from repro.asip.model import ProcessorDescription
 from repro.ir import nodes as ir
-from repro.ir.passes.rewrite import rewrite_tree
+from repro.ir.passes.rewrite import rewrite_stmt_exprs
 from repro.ir.types import ScalarType
+from repro.observe import remarks as obs_remarks
 
 
-class ScalarMacSelector:
+class _LineAwareSelector:
+    """Shared statement-at-a-time driver that remembers the source line
+    of the statement being rewritten, so selection remarks point at the
+    user's code rather than at the function."""
+
+    name = "selector"
+
+    def run(self, func: ir.IRFunction) -> bool:
+        self._changed = False
+        self._func = func
+        self._line = 0
+        self._walk(func.body)
+        return self._changed
+
+    def _walk(self, body: list[ir.Stmt]) -> None:
+        for stmt in body:
+            self._line = stmt.line
+            rewrite_stmt_exprs(stmt, self._rewrite)
+            for sub in stmt.substatements():
+                self._walk(sub)
+
+    def _select(self, instr, what: str) -> None:
+        self._changed = True
+        obs_remarks.passed(self.name,
+                           f"selected {instr.name!r} for {what}",
+                           function=self._func.name, line=self._line,
+                           instruction=instr.name)
+
+
+class ScalarMacSelector(_LineAwareSelector):
     """Rewrites real-scalar ``x + a*b`` into ``mac`` intrinsic calls."""
 
     name = "scalar-mac"
 
     def __init__(self, processor: ProcessorDescription):
         self.processor = processor
-
-    def run(self, func: ir.IRFunction) -> bool:
-        self._changed = False
-        rewrite_tree(func.body, self._rewrite)
-        return self._changed
 
     def _rewrite(self, expr: ir.Expr) -> ir.Expr:
         if not isinstance(expr, ir.BinOp) or expr.op != "add":
@@ -43,14 +68,14 @@ class ScalarMacSelector:
                                 (expr.right, expr.left)):
             if isinstance(product, ir.BinOp) and product.op == "mul" and \
                     product.type == expr.type:
-                self._changed = True
+                self._select(instr, "scalar multiply-accumulate x + a*b")
                 return ir.IntrinsicCall(
                     expr.type, instruction=instr,
                     args=[addend, product.left, product.right])
         return expr
 
 
-class ClipSelector:
+class ClipSelector(_LineAwareSelector):
     """Rewrites ``min(max(x, lo), hi)`` into ``clip`` intrinsic calls.
 
     Only the min-outer nesting is matched: ``max(min(x, hi), lo)`` is
@@ -64,11 +89,6 @@ class ClipSelector:
 
     def __init__(self, processor: ProcessorDescription):
         self.processor = processor
-
-    def run(self, func: ir.IRFunction) -> bool:
-        self._changed = False
-        rewrite_tree(func.body, self._rewrite)
-        return self._changed
 
     def _rewrite(self, expr: ir.Expr) -> ir.Expr:
         if not isinstance(expr, ir.BinOp) or expr.op != "min":
@@ -84,7 +104,7 @@ class ClipSelector:
             if isinstance(inner, ir.BinOp) and inner.op == "max" and \
                     inner.type == expr.type:
                 x, lo = inner.left, inner.right
-                self._changed = True
+                self._select(instr, "clip idiom min(max(x, lo), hi)")
                 return ir.IntrinsicCall(expr.type, instruction=instr,
                                         args=[x, lo, hi])
         return expr

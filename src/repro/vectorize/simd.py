@@ -23,8 +23,9 @@ from dataclasses import dataclass
 
 from repro.asip.model import ProcessorDescription
 from repro.ir import nodes as ir
-from repro.ir.passes.rewrite import assigned_vars, stored_arrays, used_vars
+from repro.ir.passes.rewrite import assigned_vars, stored_arrays
 from repro.ir.types import I32, ScalarKind, ScalarType, VectorType
+from repro.observe import remarks as obs_remarks
 
 
 @dataclass
@@ -50,6 +51,20 @@ class SimdVectorizer:
     def run(self, func: ir.IRFunction) -> bool:
         self._func = func
         return self._walk(func.body)
+
+    # ------------------------------------------------------------------
+    # Remarks
+    # ------------------------------------------------------------------
+
+    def _missed(self, loop: ir.Stmt, message: str, **args) -> None:
+        obs_remarks.missed(self.name, message,
+                           function=self._func.name, line=loop.line,
+                           **args)
+
+    def _passed(self, loop: ir.Stmt, message: str, **args) -> None:
+        obs_remarks.passed(self.name, message,
+                           function=self._func.name, line=loop.line,
+                           **args)
 
     def _used_outside(self, loop: ir.ForRange, name: str) -> bool:
         """Is ``name`` read (as a live value) outside ``loop``'s body?
@@ -84,13 +99,20 @@ class SimdVectorizer:
         index = 0
         while index < len(body):
             stmt = body[index]
-            if isinstance(stmt, ir.ForRange) and self._is_innermost(stmt):
-                replacement = self._try_vectorize(stmt)
-                if replacement is not None:
-                    body[index:index + 1] = replacement
-                    index += len(replacement)
-                    changed = True
-                    continue
+            if isinstance(stmt, ir.ForRange):
+                if self._is_innermost(stmt):
+                    replacement = self._try_vectorize(stmt)
+                    if replacement is not None:
+                        body[index:index + 1] = replacement
+                        index += len(replacement)
+                        changed = True
+                        continue
+                else:
+                    self._missed(stmt, "contains a nested loop; only "
+                                       "innermost loops are vectorized")
+            elif isinstance(stmt, ir.While):
+                self._missed(stmt, "while loops are not vectorized "
+                                   "(unknown trip count shape)")
             for sub in stmt.substatements():
                 changed |= self._walk(sub)
             index += 1
@@ -110,28 +132,68 @@ class SimdVectorizer:
 
     def _try_vectorize(self, loop: ir.ForRange) -> list[ir.Stmt] | None:
         if loop.step != 1:
+            self._missed(loop, f"loop step is {loop.step}; only "
+                               "unit-stride (step 1) loops are "
+                               "vectorized", step=loop.step)
             return None
-        if any(isinstance(s, (ir.If, ir.Break, ir.Continue, ir.Return,
-                              ir.Call, ir.Emit, ir.CopyArray,
-                              ir.IntrinsicStmt))
-               for s in ir.walk_statements(loop.body)):
+        unsupported = next(
+            (s for s in ir.walk_statements(loop.body)
+             if isinstance(s, (ir.If, ir.Break, ir.Continue, ir.Return,
+                               ir.Call, ir.Emit, ir.CopyArray,
+                               ir.IntrinsicStmt))), None)
+        if unsupported is not None:
+            self._missed(loop, "body contains a "
+                               f"{type(unsupported).__name__} statement "
+                               "the vectorizer does not support",
+                         statement=type(unsupported).__name__)
             return None
         elem = self._loop_element_type(loop)
         if elem is None:
+            self._missed(loop, "loop memory accesses mix element types "
+                               "(or touch none); vectorization needs "
+                               "exactly one element type")
             return None
         lanes = self._choose_width(loop, elem)
         if lanes is None:
+            widths = self.processor.simd_lanes(elem.kind)
+            if not widths:
+                self._missed(loop, "target "
+                                   f"{self.processor.name!r} has no "
+                                   "SIMD instructions for "
+                                   f"{elem.describe()} elements",
+                             element=elem.describe())
+            else:
+                self._missed(loop, "trip count is smaller than the "
+                                   "narrowest SIMD width "
+                                   f"({min(widths)} lanes)",
+                             narrowest=min(widths))
             return None
 
         plan = self._plan_body(loop, elem, lanes)
         if plan is None:
+            # _plan_body emitted the specific missed remark.
             return None
         if self._used_outside(loop, loop.var):
+            self._missed(loop, f"loop variable {loop.var!r} is live "
+                               "after the loop; the vector main loop "
+                               "would leave it with the wrong value",
+                         variable=loop.var)
             return None
         for entry in plan:
             if entry[0] == "temp" and self._used_outside(loop, entry[1].name):
+                self._missed(loop, f"temporary {entry[1].name!r} is "
+                                   "live after the loop",
+                             variable=entry[1].name)
                 return None
-        return self._emit(loop, elem, lanes, plan)
+        replacement = self._emit(loop, elem, lanes, plan)
+        n_stores = sum(1 for e in plan if e[0] == "store")
+        n_reduce = sum(1 for e in plan if e[0] == "reduce")
+        self._passed(loop, f"vectorized with {lanes}-lane "
+                           f"{elem.describe()} SIMD "
+                           f"({n_stores} store(s), "
+                           f"{n_reduce} reduction(s))",
+                     lanes=lanes, stores=n_stores, reductions=n_reduce)
+        return replacement
 
     def _choose_width(self, loop: ir.ForRange,
                       elem: ScalarType) -> int | None:
@@ -199,10 +261,19 @@ class SimdVectorizer:
             if isinstance(stmt, ir.Store):
                 stride = self._stride_of(stmt.index, var)
                 if stride != 1:
+                    self._missed(loop, "store into "
+                                       f"{stmt.array!r} is not "
+                                       "unit-stride in the loop variable "
+                                       f"(stride {stride})",
+                                 array=stmt.array, stride=stride)
                     return None
                 value = self._vectorize_expr(stmt.value, var, elem, lanes,
                                              vector_temps)
                 if value is None:
+                    self._missed(loop, "value stored into "
+                                       f"{stmt.array!r} has no vector "
+                                       "form on this target",
+                                 array=stmt.array)
                     return None
                 plan.append(("store", stmt, value))
             elif isinstance(stmt, ir.AssignVar):
@@ -210,6 +281,10 @@ class SimdVectorizer:
                                                   vector_temps)
                 if reduction is not None:
                     if stmt.name in reduced:
+                        self._missed(loop, "reduction variable "
+                                           f"{stmt.name!r} is updated "
+                                           "more than once per iteration",
+                                     variable=stmt.name)
                         return None
                     reduced.add(stmt.name)
                     plan.append(reduction)
@@ -217,12 +292,24 @@ class SimdVectorizer:
                 value = self._vectorize_expr(stmt.value, var, elem, lanes,
                                              vector_temps)
                 if value is None:
+                    self._missed(loop, "assignment to "
+                                       f"{stmt.name!r} has no vector "
+                                       "form on this target",
+                                 variable=stmt.name)
                     return None
                 if not isinstance(value.type, VectorType):
+                    self._missed(loop, "assignment to "
+                                       f"{stmt.name!r} stays scalar; "
+                                       "nothing to vectorize",
+                                 variable=stmt.name)
                     return None
                 vector_temps[stmt.name] = value.type
                 plan.append(("temp", stmt, value))
             else:
+                self._missed(loop, "body contains a "
+                                   f"{type(stmt).__name__} statement the "
+                                   "vectorizer does not support",
+                             statement=type(stmt).__name__)
                 return None
         # A reduction accumulator must not be read by other statements.
         for kind, stmt, *rest in plan:
@@ -234,6 +321,11 @@ class SimdVectorizer:
                     if isinstance(node, ir.VarRef):
                         names.add(node.name)
             if names & reduced:
+                clash = sorted(names & reduced)[0]
+                self._missed(loop, "reduction accumulator "
+                                   f"{clash!r} is read by another "
+                                   "statement in the loop body",
+                             variable=clash)
                 return None
         return plan
 
@@ -534,6 +626,10 @@ class SimdVectorizer:
                         vtype, instruction=instr,
                         args=[ir.VarRef(vtype, vacc), how[1]])
                 main_body.append(ir.AssignVar(vacc, update))
+            # Vector statements inherit the source line of the scalar
+            # statement they replace, so hotspot profiles attribute
+            # their cycles to the original MATLAB line.
+            main_body[-1].line = stmt.line
 
         out.append(ir.ForRange(var=loop.var, start=loop.start,
                                stop=main_stop, step=lanes, body=main_body))
@@ -551,4 +647,10 @@ class SimdVectorizer:
         # Scalar tail.
         out.append(ir.ForRange(var=loop.var, start=copy.deepcopy(main_stop),
                                stop=loop.stop, step=1, body=tail_body))
+        # Compiler-generated glue (trip split, prologues, epilogues, the
+        # strip-mined loop headers) maps to the loop's own source line.
+        for top in out:
+            for sub in ir.walk_statements([top]):
+                if sub.line == 0:
+                    sub.line = loop.line
         return out

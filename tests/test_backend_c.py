@@ -173,7 +173,7 @@ end
 
 @requires_gcc
 def test_gcc_scalar_and_io():
-    from repro.backend.harness import DEFAULT_FLAGS, generate_main
+    from repro.backend.harness import generate_main
     from repro.backend.emitter import emit_c
     import tempfile
     from pathlib import Path

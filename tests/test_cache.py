@@ -214,3 +214,69 @@ def test_instruction_mix_reuses_last_simulation():
     run2 = result.simulate([x * 2, h])            # different values
     assert result.instruction_mix([x * 2, h]) is \
         run2.report.instruction_counts
+
+
+def test_instruction_mix_keyed_per_args_not_just_last():
+    """Regression: the reuse store is keyed by argument signature, so an
+    interleaved simulation of other inputs must not force a
+    re-simulation of earlier ones."""
+    result = compile_source(SRC, args=ARGS)
+    x = np.array([[1.0, 2.0, 3.0, 4.0]])
+    h = np.array([[0.5, 0.25, 0.0, 0.0]])
+    run_a = result.simulate([x, h])
+    run_b = result.simulate([x * 2, h])           # different inputs
+    # Both runs stay addressable; neither lookup re-simulates.
+    assert result.instruction_mix([x, h]) is \
+        run_a.report.instruction_counts
+    assert result.instruction_mix([x * 2, h]) is \
+        run_b.report.instruction_counts
+
+
+def test_instruction_mix_keyed_per_backend():
+    """A run recorded by one backend must not satisfy a mix query for
+    the other: the key includes the backend."""
+    result = compile_source(SRC, args=ARGS)
+    x = np.array([[1.0, 2.0, 3.0, 4.0]])
+    h = np.array([[0.5, 0.25, 0.0, 0.0]])
+    ref_run = result.simulate([x, h], backend="reference")
+    mix = result.instruction_mix([x, h], backend="compiled")
+    assert mix is not ref_run.report.instruction_counts
+    assert mix == ref_run.report.instruction_counts  # same semantics
+    # And the reference-backend entry is still there untouched.
+    assert result.instruction_mix([x, h], backend="reference") is \
+        ref_run.report.instruction_counts
+
+
+def test_sim_run_store_is_bounded():
+    from repro.compiler import _SIM_RUN_LIMIT
+
+    result = compile_source(SRC, args=ARGS)
+    h = np.array([[0.5, 0.25, 0.0, 0.0]])
+    for i in range(_SIM_RUN_LIMIT + 3):
+        result.simulate([np.full((1, 4), float(i)), h])
+    assert len(result._sim_runs) == _SIM_RUN_LIMIT
+
+
+# ----------------------------------------------------------------------
+# Cache-hit provenance
+# ----------------------------------------------------------------------
+
+
+def test_cache_hits_counter_marks_provenance():
+    first = compile_source(SRC, args=ARGS)
+    assert first.cache_hits == 0
+    second = compile_source(SRC, args=ARGS)
+    third = compile_source(SRC, args=ARGS)
+    assert second is first and third is first
+    assert first.cache_hits == 2
+    # The original stage timings survive for --profile provenance.
+    assert "total" in first.stage_times
+
+
+def test_disk_revived_result_defaults_new_fields(tmp_path):
+    cache.configure(cache_dir=tmp_path)
+    compile_source(SRC, args=ARGS)
+    cache.configure(cache_dir=tmp_path)   # cold memory, warm disk
+    revived = compile_source(SRC, args=ARGS)
+    assert revived.cache_hits == 1        # counted on the disk hit
+    assert isinstance(revived.remarks, list)

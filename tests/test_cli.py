@@ -155,3 +155,134 @@ def test_simulate_deterministic_seed(fir_file, capsys):
           "--simulate", "--seed", "7"])
     second = capsys.readouterr().out
     assert first == second
+
+
+# ---------------------------------------------------------------------
+# Observability flags
+# ---------------------------------------------------------------------
+
+LOOPY = """
+function y = g(x)
+n = length(x);
+y = zeros(1, n);
+acc = 0;
+for i = 1:n
+    acc = acc + x(i) * x(i);
+end
+for i = 1:n
+    y(i) = x(i) * acc;
+end
+end
+"""
+
+
+@pytest.fixture
+def loop_file(tmp_path):
+    path = tmp_path / "loopy.m"
+    path.write_text(LOOPY)
+    return path
+
+
+def test_trace_json_is_valid_chrome_trace(loop_file, tmp_path, capsys):
+    import json
+
+    trace_file = tmp_path / "trace.json"
+    code = main([str(loop_file), "--args", "double:1x32",
+                 "--simulate", "--trace-json", str(trace_file)])
+    assert code == 0
+    data = json.loads(trace_file.read_text())
+    # Chrome trace-event JSON object format.
+    assert isinstance(data["traceEvents"], list) and data["traceEvents"]
+    assert data["displayTimeUnit"] == "ms"
+    names = set()
+    for event in data["traceEvents"]:
+        assert event["ph"] in ("X", "C")
+        assert isinstance(event["ts"], (int, float))
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        names.add(event["name"])
+        if event["ph"] == "X":
+            assert event["dur"] >= 0
+    assert "compile" in names
+    assert "simulate" in names
+
+
+def test_trace_json_env_default(loop_file, tmp_path, capsys, monkeypatch):
+    import json
+
+    trace_file = tmp_path / "env_trace.json"
+    monkeypatch.setenv("REPRO_TRACE", str(trace_file))
+    assert main([str(loop_file), "--args", "double:1x32",
+                 "-o", str(tmp_path / "out.c")]) == 0
+    assert json.loads(trace_file.read_text())["traceEvents"]
+
+
+def test_remarks_flag_prints_to_stderr(loop_file, capsys):
+    code = main([str(loop_file), "--args", "double:1x32",
+                 "--remarks", "-o", "/dev/null"])
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "[simd-vectorize]" in err
+    assert "loopy.m:" in err
+
+
+def test_remarks_flag_filters_by_pass(loop_file, capsys):
+    code = main([str(loop_file), "--args", "double:1x32",
+                 "--remarks", "no-such-pass", "-o", "/dev/null"])
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "no remarks" in err
+    assert "[simd-vectorize]" not in err
+
+
+def test_print_changed_dumps_ir(loop_file, capsys):
+    code = main([str(loop_file), "--args", "double:1x32",
+                 "--print-changed", "-o", "/dev/null"])
+    assert code == 0
+    err = capsys.readouterr().err
+    assert ";; IR after" in err
+    assert "func " in err
+
+
+def test_hotspots_requires_simulate(loop_file, capsys):
+    with pytest.raises(SystemExit):
+        main([str(loop_file), "--args", "double:1x32", "--hotspots"])
+
+
+def test_hotspots_prints_annotated_source(loop_file, capsys):
+    code = main([str(loop_file), "--args", "double:1x32",
+                 "--simulate", "--hotspots"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hotspots:" in out
+    assert "total cycles" in out
+    # Every non-blank source line shows up in the table.
+    assert "acc = acc + x(i) * x(i);" in out
+
+
+def test_metrics_json_report(loop_file, tmp_path, capsys):
+    import json
+
+    metrics_file = tmp_path / "metrics.json"
+    code = main([str(loop_file), "--args", "double:1x32",
+                 "--simulate", "--hotspots",
+                 "--metrics-json", str(metrics_file)])
+    assert code == 0
+    report = json.loads(metrics_file.read_text())
+    assert report["schema"] == "repro-observe-report-v1"
+    assert report["compile"]["entry"] == "g_double_1x32"
+    assert report["simulation"]["cycles"] > 0
+    assert report["simulation"]["hotspots"]
+    assert any(row["cycles"] > 0 for row in report["simulation"]["hotspots"])
+
+
+def test_profile_reports_cache_provenance(loop_file, capsys):
+    args = [str(loop_file), "--args", "double:1x32", "--profile",
+            "-o", "/dev/null"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "compilation profile:" in first
+    assert main(args) == 0  # same process: in-memory cache hit
+    second = capsys.readouterr().out
+    assert "cache hit" in second
+    assert "original compile" in second

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import SemanticError, UnsupportedFeatureError
 from repro.frontend.parser import parse
 from repro.semantics.inference import specialize_program
-from repro.semantics.shapes import SCALAR, Shape
+from repro.semantics.shapes import Shape
 from repro.semantics.types import DType, MType
 
 

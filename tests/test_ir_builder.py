@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import LoweringError, UnsupportedFeatureError
+from repro.errors import UnsupportedFeatureError
 from repro.frontend.parser import parse
 from repro.ir import nodes as ir
 from repro.ir.builder import lower_program

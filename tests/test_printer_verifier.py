@@ -4,7 +4,7 @@ import pytest
 
 from repro.compiler import arg, compile_source
 from repro.ir import nodes as ir
-from repro.ir.printer import format_expr, format_function, format_module
+from repro.ir.printer import format_expr, format_module
 from repro.ir.types import ArrayType, I32, ScalarKind, ScalarType
 from repro.ir.verifier import VerificationError, verify_function
 

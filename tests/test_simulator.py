@@ -6,8 +6,7 @@ import pytest
 from repro.asip.isa_library import generic_scalar_dsp, vliw_simd_dsp
 from repro.compiler import CompilerOptions, arg, compile_source
 from repro.errors import SimulationError
-from repro.ir import nodes as ir
-from repro.ir.types import ArrayType, I32, ScalarKind, ScalarType
+from repro.ir.types import ScalarKind, ScalarType
 from repro.sim.cost import CostModel, CycleReport
 from repro.sim.machine import Simulator
 

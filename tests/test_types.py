@@ -1,6 +1,6 @@
 """Unit tests for the MATLAB type lattice."""
 
-from repro.semantics.shapes import SCALAR, Shape
+from repro.semantics.shapes import Shape
 from repro.semantics.types import (
     DType,
     MType,

@@ -1,7 +1,6 @@
 """Unit tests for SIMD vectorization and instruction selection."""
 
 import numpy as np
-import pytest
 
 from repro.asip.isa_library import (
     generic_scalar_dsp,
@@ -10,10 +9,8 @@ from repro.asip.isa_library import (
     wide_simd_dsp,
 )
 from repro.compiler import CompilerOptions, arg, compile_source
-from repro.ir import nodes as ir
 from repro.ir.verifier import verify_module
 from repro.mlab.interp import MatlabInterpreter
-from repro.sim.machine import Simulator
 
 
 def compiled(source, args, processor="vliw_simd_dsp", **kw):
