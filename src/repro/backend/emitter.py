@@ -270,7 +270,13 @@ class _FunctionEmitter:
         kind = expr.type.kind if isinstance(expr.type, ScalarType) else None
         if isinstance(value, bool):
             return "1" if value else "0"
-        if isinstance(value, complex):
+        # Dispatch on the constant's IR type, not the Python value's
+        # type: a real-valued constant in a complex-typed position
+        # (e.g. a reduction's `acc = 0.0` over a complex array) must
+        # still build the struct literal.
+        if isinstance(value, complex) or (kind is not None
+                                          and kind.is_complex):
+            value = complex(value)
             prefix = complex_helper_prefix(kind or ScalarKind.C128)
             return (f"{prefix}_make({self._float_literal(value.real, kind)}, "
                     f"{self._float_literal(value.imag, kind)})")

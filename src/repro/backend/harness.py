@@ -62,6 +62,11 @@ def generate_main(module, args: list[object]) -> str:
             call_args.append(name)
         else:
             scalar = param.type
+            # Callers may pass a 1x1 array for a scalar parameter (the
+            # interpreter's canonical form); numpy refuses complex() on
+            # non-0-d arrays, so collapse to a Python scalar first.
+            if isinstance(value, np.ndarray):
+                value = value.reshape(-1)[0]
             if scalar.is_complex:
                 v = complex(value)
                 call_args.append(

@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Iterable
 
 from repro.asip.model import ProcessorDescription
 from repro.observe import trace as obs_trace
+from repro.observe.remarks import ANALYSIS, Remark
 from repro.semantics.types import MType
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -89,6 +90,8 @@ class CompilationCache:
         self.misses = 0
         self.disk_hits = 0
         self.evictions = 0
+        self.disk_read_errors = 0
+        self.disk_write_errors = 0
         if cache_dir is None:
             cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
         self.cache_dir = Path(cache_dir) if cache_dir else None
@@ -141,8 +144,11 @@ class CompilationCache:
         try:
             with path.open("rb") as stream:
                 return pickle.load(stream)
-        except Exception:
-            # A corrupt or version-skewed entry is just a miss.
+        except Exception as exc:
+            # A corrupt or version-skewed entry behaves as a miss, but
+            # never silently: corruption that goes uncounted looks like
+            # a cold cache and hides real deployment problems.
+            self._disk_error("read", path, exc)
             try:
                 path.unlink()
             except OSError:
@@ -159,16 +165,32 @@ class CompilationCache:
             with tmp.open("wb") as stream:
                 pickle.dump(result, stream, pickle.HIGHEST_PROTOCOL)
             tmp.replace(path)
-        except Exception:
-            # Disk persistence is best-effort; the in-memory entry
-            # already satisfies this process.
-            pass
+        except Exception as exc:
+            # Disk persistence is best-effort (the in-memory entry
+            # already satisfies this process) but the failure is
+            # counted and remarked so it shows up in metrics reports.
+            self._disk_error("write", path, exc)
+
+    def _disk_error(self, kind: str, path: Path, exc: Exception) -> None:
+        """Record one disk-layer failure in the cache's own stats, the
+        ambient trace session's counters, and an analysis remark."""
+        if kind == "read":
+            self.disk_read_errors += 1
+        else:
+            self.disk_write_errors += 1
+        session = obs_trace.current()
+        session.counter(f"cache.disk_{kind}_error")
+        session.remark(Remark(
+            kind=ANALYSIS, pass_name="cache",
+            message=f"disk cache {kind} failed for {path.name}: "
+                    f"{type(exc).__name__}: {exc}"))
 
     # -- maintenance ---------------------------------------------------
 
     def clear(self) -> None:
         self._entries.clear()
         self.hits = self.misses = self.disk_hits = self.evictions = 0
+        self.disk_read_errors = self.disk_write_errors = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -176,6 +198,8 @@ class CompilationCache:
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "disk_hits": self.disk_hits, "evictions": self.evictions,
+                "disk_read_errors": self.disk_read_errors,
+                "disk_write_errors": self.disk_write_errors,
                 "size": len(self._entries)}
 
 

@@ -1,0 +1,170 @@
+"""``repro-fuzz`` — the differential fuzzing driver.
+
+Examples::
+
+    # 200 compile-mode programs through interpreter + both simulator
+    # backends + gcc (when on PATH); nonzero exit on any divergence
+    repro-fuzz --seed 0 --count 200
+
+    # Interpreter-only features (growth, logical indexing, matrix
+    # iteration) under the interpreter-consistency oracle
+    repro-fuzz --seed 7 --count 100 --mode interp
+
+    # Reduce and save any failures as minimal reproducers
+    repro-fuzz --seed 0 --count 500 --reduce --corpus failures/
+
+    # Machine-readable run summary for CI
+    repro-fuzz --seed 0 --count 50 --metrics-json fuzz.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.fuzz.generator import ProgramGenerator
+from repro.fuzz.oracle import COMPILE_ENGINES, DifferentialOracle
+from repro.fuzz.reducer import reduce_program, write_reproducer
+from repro.observe import TraceSession, trace as obs_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description="Differential fuzzer: random well-typed MATLAB "
+                    "programs through the golden interpreter, both "
+                    "simulator backends, and gcc-compiled emitted C")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed; program i uses seed+i "
+                             "(default 0)")
+    parser.add_argument("--count", type=int, default=100,
+                        help="number of programs to generate "
+                             "(default 100)")
+    parser.add_argument("--mode", choices=["compile", "interp"],
+                        default="compile",
+                        help="'compile': differential across engines; "
+                             "'interp': interpreter-only features under "
+                             "consistency oracles")
+    parser.add_argument("--backends", default=None,
+                        help="comma-separated subset of "
+                             f"{','.join(COMPILE_ENGINES)} to compare "
+                             "against the interpreter (default: all "
+                             "available)")
+    parser.add_argument("--processor", default="vliw_simd_dsp",
+                        help="target processor description name")
+    parser.add_argument("--cc", default="gcc",
+                        help="host C compiler for the gcc engine")
+    parser.add_argument("--reduce", action="store_true",
+                        help="delta-debug each failure to a minimal "
+                             "reproducer")
+    parser.add_argument("--corpus", metavar="DIR", default=None,
+                        help="write failing programs (reduced when "
+                             "--reduce) as NAME.m + NAME.json replay "
+                             "sidecars into DIR")
+    parser.add_argument("--max-failures", type=int, default=10,
+                        help="stop after this many distinct failures "
+                             "(default 10)")
+    parser.add_argument("--metrics-json", metavar="FILE", default=None,
+                        help="write a machine-readable JSON summary of "
+                             "the run to FILE")
+    parser.add_argument("--print-programs", action="store_true",
+                        help="print every generated program to stderr "
+                             "(debugging the generator)")
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    engines = None
+    if options.backends is not None:
+        engines = [e.strip() for e in options.backends.split(",")
+                   if e.strip()]
+        unknown = [e for e in engines if e not in COMPILE_ENGINES]
+        if unknown:
+            parser.error(f"unknown backend(s) {', '.join(unknown)}; "
+                         f"expected a subset of "
+                         f"{', '.join(COMPILE_ENGINES)}")
+
+    session = TraceSession()
+    oracle = DifferentialOracle(engines=engines,
+                                processor=options.processor,
+                                cc=options.cc)
+    failures: list[dict] = []
+    seen_buckets: set[str] = set()
+
+    with obs_trace.use(session):
+        if options.mode == "compile" and oracle.engines:
+            print(f"engines: interp vs {', '.join(oracle.engines)}")
+        elif options.mode == "compile":
+            print("engines: (none available beyond the interpreter)")
+        for index in range(options.count):
+            seed = options.seed + index
+            generator = ProgramGenerator(seed, mode=options.mode)
+            program = generator.generate()
+            if options.print_programs:
+                print(f"% seed {seed}\n{program.source}",
+                      file=sys.stderr)
+            verdict = oracle.run(program)
+            if not verdict.interesting:
+                continue
+
+            key = verdict.key()
+            fresh = key not in seen_buckets
+            seen_buckets.add(key)
+            print(f"seed {seed}: {verdict.status} "
+                  f"[{verdict.engine}] {verdict.detail}"
+                  + ("" if fresh else " (duplicate bucket)"))
+            if options.reduce and fresh:
+                program = reduce_program(program, verdict, oracle)
+            if options.corpus and fresh:
+                path = write_reproducer(options.corpus,
+                                        f"seed{seed}", program, verdict)
+                print(f"  reproducer: {path}")
+            failures.append({
+                "seed": seed,
+                "status": verdict.status,
+                "engine": verdict.engine,
+                "detail": verdict.detail,
+                "bucket": verdict.bucket,
+                "source": program.source,
+            })
+            if len(seen_buckets) >= options.max_failures:
+                print(f"stopping after {options.max_failures} distinct "
+                      "failure buckets")
+                break
+
+    counters = session.counters
+    programs = counters.get("fuzz.programs", 0)
+    summary = {
+        "seed": options.seed,
+        "count": options.count,
+        "mode": options.mode,
+        "engines": list(oracle.engines) if options.mode == "compile"
+        else ["interp"],
+        "programs": programs,
+        "ok": counters.get("fuzz.ok", 0),
+        "skipped": counters.get("fuzz.skip", 0),
+        "divergences": counters.get("fuzz.divergence", 0),
+        "crashes": counters.get("fuzz.crash", 0),
+        "distinct_buckets": len(seen_buckets),
+        "failures": failures,
+        "counters": dict(sorted(counters.items())),
+        "remarks": [f"{r.pass_name}: {r.message}"
+                    for r in session.remarks],
+    }
+    print(f"{programs} programs: {summary['ok']} ok, "
+          f"{summary['skipped']} skipped, "
+          f"{summary['divergences']} divergences, "
+          f"{summary['crashes']} crashes")
+    if options.metrics_json:
+        with open(options.metrics_json, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,264 @@
+"""Delta-debugging reducer for diverging fuzz programs.
+
+Given a program on which the oracle reports a divergence or crash,
+shrink it to a (locally) minimal program that still reproduces the
+*same* verdict — same diverging engine, or same crash bucket — and
+write the reproducer plus its replay metadata to a corpus directory.
+
+Reduction passes, applied to fixpoint:
+
+* drop one top-level/nested statement at a time, last-to-first (later
+  statements rarely feed earlier ones, so scanning backwards removes
+  dead tails fastest);
+* hoist the body out of a compound statement (``if``/``for``/
+  ``while``/``switch`` collapse to their then-branch / body run once);
+* drop entry-point parameters the shrunken body no longer mentions
+  (with the matching argument spec and input value);
+* drop return values, keeping at least one.
+
+Each candidate is judged by re-running the full oracle; a candidate is
+accepted only when :meth:`Verdict.key` is unchanged, so a reduction can
+never morph one bug into a different one unnoticed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse
+from repro.frontend.unparse import to_source
+from repro.fuzz.generator import GeneratedProgram
+from repro.fuzz.oracle import DifferentialOracle, Verdict
+from repro.observe import trace as obs_trace
+
+#: Upper bound on oracle invocations per reduction, so a pathological
+#: program cannot stall the whole fuzzing run.
+MAX_ORACLE_RUNS = 400
+
+
+def _identifiers(node: object, found: set) -> None:
+    if isinstance(node, ast.Identifier):
+        found.add(node.name)
+    if hasattr(node, "__dataclass_fields__"):
+        for name in node.__dataclass_fields__:
+            if name == "span":
+                continue
+            _identifiers(getattr(node, name), found)
+    elif isinstance(node, (list, tuple)):
+        for item in node:
+            _identifiers(item, found)
+
+
+def _function(program: ast.Program, entry: str) -> ast.Function:
+    for func in program.functions:
+        if func.name == entry:
+            return func
+    return program.functions[0]
+
+
+def _rebuild(program: GeneratedProgram, func: ast.Function,
+             param_specs=None, input_values=None) -> GeneratedProgram:
+    tree = parse(program.source)
+    functions = [func if f.name == func.name else f
+                 for f in tree.functions]
+    source = to_source(ast.Program(span=tree.span, functions=functions))
+    return replace(
+        program, source=source,
+        param_specs=param_specs if param_specs is not None
+        else program.param_specs,
+        input_values=input_values if input_values is not None
+        else program.input_values,
+        nargout=len(func.returns), returns=list(func.returns))
+
+
+class _Budget:
+    def __init__(self, oracle: DifferentialOracle, limit: int):
+        self.oracle = oracle
+        self.limit = limit
+        self.runs = 0
+
+    def matches(self, candidate: GeneratedProgram, key: str) -> bool:
+        if self.runs >= self.limit:
+            return False
+        self.runs += 1
+        try:
+            return self.oracle.run(candidate).key() == key
+        except Exception:
+            # A reducer candidate that breaks the oracle itself (e.g.
+            # unparseable after an aggressive hoist) is just not a
+            # valid reduction.
+            return False
+
+
+def reduce_program(program: GeneratedProgram, verdict: Verdict,
+                   oracle: "DifferentialOracle | None" = None,
+                   max_runs: int = MAX_ORACLE_RUNS) -> GeneratedProgram:
+    """Shrink ``program`` while preserving ``verdict.key()``."""
+    if not verdict.interesting:
+        return program
+    oracle = oracle or DifferentialOracle()
+    budget = _Budget(oracle, max_runs)
+    key = verdict.key()
+    session = obs_trace.current()
+
+    current = program
+    changed = True
+    while changed and budget.runs < budget.limit:
+        changed = False
+        func = _function(parse(current.source), current.entry)
+
+        # 1. statement deletion / compound hoisting, innermost last.
+        for candidate_func in _shrink_stmts(func):
+            candidate = _rebuild(current, candidate_func)
+            if budget.matches(candidate, key):
+                current = candidate
+                changed = True
+                break
+        if changed:
+            continue
+
+        # 2. drop unused parameters.
+        used: set = set()
+        _identifiers(func.body, used)
+        for index in range(len(func.params) - 1, -1, -1):
+            if func.params[index] in used or len(func.params) <= 1:
+                continue
+            params = func.params[:index] + func.params[index + 1:]
+            specs = [s for i, s in enumerate(current.param_specs)
+                     if i != index]
+            values = [v for i, v in enumerate(current.input_values)
+                      if i != index]
+            candidate = _rebuild(
+                current,
+                ast.Function(span=func.span, name=func.name,
+                             params=params, returns=func.returns,
+                             body=func.body),
+                param_specs=specs, input_values=values)
+            if budget.matches(candidate, key):
+                current = candidate
+                changed = True
+                break
+        if changed:
+            continue
+
+        # 3. drop return values (keep one).
+        for index in range(len(func.returns) - 1, -1, -1):
+            if len(func.returns) <= 1:
+                break
+            returns = func.returns[:index] + func.returns[index + 1:]
+            candidate = _rebuild(
+                current,
+                ast.Function(span=func.span, name=func.name,
+                             params=func.params, returns=returns,
+                             body=func.body))
+            if budget.matches(candidate, key):
+                current = candidate
+                changed = True
+                break
+
+    session.counter("fuzz.reduce_runs", budget.runs)
+    return current
+
+
+def _shrink_stmts(func: ast.Function):
+    """Yield candidate functions, each one statement-level edit away."""
+    for body in _shrink_body(func.body):
+        yield ast.Function(span=func.span, name=func.name,
+                           params=func.params, returns=func.returns,
+                           body=body)
+
+
+def _shrink_body(stmts: list):
+    # Deletion, last statement first.
+    for index in range(len(stmts) - 1, -1, -1):
+        yield stmts[:index] + stmts[index + 1:]
+    # Hoisting: replace a compound statement with its body.
+    for index in range(len(stmts) - 1, -1, -1):
+        stmt = stmts[index]
+        if isinstance(stmt, ast.If):
+            for _, body in stmt.branches:
+                yield stmts[:index] + body + stmts[index + 1:]
+            if stmt.else_body:
+                yield (stmts[:index] + stmt.else_body
+                       + stmts[index + 1:])
+        elif isinstance(stmt, (ast.For, ast.While)):
+            yield stmts[:index] + stmt.body + stmts[index + 1:]
+        elif isinstance(stmt, ast.Switch):
+            for _, body in stmt.cases:
+                yield stmts[:index] + body + stmts[index + 1:]
+            if stmt.otherwise:
+                yield (stmts[:index] + stmt.otherwise
+                       + stmts[index + 1:])
+    # Recursive shrinking inside compounds.
+    for index, stmt in enumerate(stmts):
+        if isinstance(stmt, ast.If):
+            for bindex, (cond, body) in enumerate(stmt.branches):
+                for smaller in _shrink_body(body):
+                    branches = list(stmt.branches)
+                    branches[bindex] = (cond, smaller)
+                    yield (stmts[:index]
+                           + [ast.If(span=stmt.span, branches=branches,
+                                     else_body=stmt.else_body)]
+                           + stmts[index + 1:])
+        elif isinstance(stmt, ast.For):
+            for smaller in _shrink_body(stmt.body):
+                yield (stmts[:index]
+                       + [ast.For(span=stmt.span, var=stmt.var,
+                                  iterable=stmt.iterable, body=smaller)]
+                       + stmts[index + 1:])
+        elif isinstance(stmt, ast.While):
+            for smaller in _shrink_body(stmt.body):
+                yield (stmts[:index]
+                       + [ast.While(span=stmt.span,
+                                    condition=stmt.condition,
+                                    body=smaller)]
+                       + stmts[index + 1:])
+
+
+# ----------------------------------------------------------------------
+# Corpus persistence
+# ----------------------------------------------------------------------
+
+
+def write_reproducer(directory: "str | Path", name: str,
+                     program: GeneratedProgram,
+                     verdict: Verdict) -> Path:
+    """Write ``name.m`` plus a ``name.json`` replay sidecar.
+
+    The sidecar holds everything :func:`load_reproducer` needs to rerun
+    the program deterministically: entry point, argument specs, the
+    concrete input values (complex numbers as ``[re, im]`` pairs), and
+    the verdict that was observed when the reproducer was minted.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    m_path = directory / f"{name}.m"
+    m_path.write_text(program.source)
+    sidecar = {
+        "program": program.to_dict(),
+        "verdict": {
+            "status": verdict.status,
+            "engine": verdict.engine,
+            "detail": verdict.detail,
+            "bucket": verdict.bucket,
+        },
+    }
+    (directory / f"{name}.json").write_text(
+        json.dumps(sidecar, indent=2, sort_keys=True) + "\n")
+    return m_path
+
+
+def load_reproducer(directory: "str | Path",
+                    name: str) -> tuple[GeneratedProgram, dict]:
+    """Load one corpus entry back; returns (program, verdict dict)."""
+    directory = Path(directory)
+    sidecar = json.loads((directory / f"{name}.json").read_text())
+    program = GeneratedProgram.from_dict(sidecar["program"])
+    # The .m file is authoritative for the source (hand-editable).
+    m_path = directory / f"{name}.m"
+    if m_path.is_file():
+        program = replace(program, source=m_path.read_text())
+    return program, sidecar["verdict"]

@@ -146,8 +146,13 @@ class _FunctionLowerer:
         return self._popped or []
 
     def temp(self, prefix: str = "t") -> str:
+        # The leading underscore keeps generated names out of the source
+        # namespace: MATLAB identifiers must start with a letter, so no
+        # user variable can ever collide with a compiler temporary.  (A
+        # reduction counter named `k4` once shadowed a source loop
+        # variable of the same name — found by the differential fuzzer.)
         self._temp_counter += 1
-        return f"{prefix}{self._temp_counter}"
+        return f"_{prefix}{self._temp_counter}"
 
     def fail(self, message: str, node: ast.Node) -> None:
         where = ""
@@ -361,11 +366,56 @@ class _FunctionLowerer:
         var_type = self.var_ir_type(name)
         ir_name = self.ir_name(name)
         if isinstance(var_type, ArrayType):
+            if self._aliases_unsafely(value, name):
+                # The RHS reads the destination through a construct
+                # that stores element-by-element in a different order
+                # than it reads (matrix literal, transpose, region
+                # read, matmul, call...).  MATLAB semantics evaluate
+                # the whole RHS first; writing in place would let later
+                # elements observe already-overwritten ones, so build
+                # into a fresh temporary and copy.
+                temp = self.temp("alias")
+                self.fn.declare(temp, var_type)
+                self._lower_array_into(value, temp, var_type)
+                self.emit(ir.CopyArray(dst=ir_name, src=temp))
+                return
             self._lower_array_into(value, ir_name, var_type)
         else:
             value_ir = self.lower_scalar(value)
             self.emit(ir.AssignVar(name=ir_name,
                                    value=self.coerce(value_ir, var_type)))
+
+    def _aliases_unsafely(self, value: ast.Expr, name: str) -> bool:
+        """True when assigning ``value`` directly into array ``name``
+        could read elements the assignment has already overwritten.
+
+        In-place lowering stays safe for the hot paths: a plain
+        identifier copy, and element-wise trees (both fused and naive
+        modes materialize array subtrees and hoist scalar reads before
+        any store, and remaining reads of the destination are at the
+        store index itself)."""
+        if isinstance(value, ast.Identifier):
+            return False
+        if isinstance(value, ast.UnaryOp):
+            return False
+        if isinstance(value, ast.BinaryOp):
+            is_matmul = value.op == "*" \
+                and not self.mtype_of(value.left).is_scalar \
+                and not self.mtype_of(value.right).is_scalar
+            if not is_matmul:
+                return False
+        return self._reads_variable(value, name)
+
+    def _reads_variable(self, node: object, name: str) -> bool:
+        if isinstance(node, ast.Identifier):
+            return node.name == name
+        if isinstance(node, (list, tuple)):
+            return any(self._reads_variable(item, name) for item in node)
+        if hasattr(node, "__dataclass_fields__"):
+            return any(
+                self._reads_variable(getattr(node, field), name)
+                for field in node.__dataclass_fields__ if field != "span")
+        return False
 
     def _assign_indexed(self, target: ast.CallIndex, value: ast.Expr) -> None:
         array_name = target.target.name
@@ -796,7 +846,8 @@ class _FunctionLowerer:
             if isinstance(ir_type, ArrayType):
                 self.fail(f"array {expr.name!r} used where a scalar is "
                           "required", expr)
-            return ir.VarRef(ir_type, name=self.ir_name(expr.name))
+            return self._match_point_type(
+                ir.VarRef(ir_type, name=self.ir_name(expr.name)), expr)
         mtype = self.mtype_of(expr)
         if mtype.value is not None:
             return self._const_of(mtype)
@@ -902,10 +953,33 @@ class _FunctionLowerer:
         array_type = self.var_ir_type(array_name)
         if isinstance(array_type, ScalarType):
             # Indexing a scalar: x(1) or x(1,1) is the scalar itself.
-            return ir.VarRef(array_type, name=self.ir_name(array_name))
+            return self._match_point_type(
+                ir.VarRef(array_type, name=self.ir_name(array_name)), expr)
         index = self._linear_index(expr, array_type)
-        return ir.Load(ScalarType(array_type.elem.kind),
-                       array=self.ir_name(array_name), index=index)
+        return self._match_point_type(
+            ir.Load(ScalarType(array_type.elem.kind),
+                    array=self.ir_name(array_name), index=index), expr)
+
+    def _match_point_type(self, value: ir.Expr, node: ast.Expr) -> ir.Expr:
+        """Demote a storage-typed read to its per-point inferred type.
+
+        Storage is declared once with the *join* of every type a
+        variable holds, so a variable that is complex anywhere has
+        complex storage everywhere.  At program points where inference
+        proved the value real, its imaginary component is zero and
+        downstream lowering expects a real operand — extracting the
+        real component is exact there.  (Found by the differential
+        fuzzer: ``sign(v)`` before a branch that turns ``v`` complex
+        received a complex operand and miscompiled.)
+        """
+        if not (isinstance(value.type, ScalarType)
+                and value.type.is_complex):
+            return value
+        types = self.spec.node_types.get(id(node))
+        if types is None or types[0].is_complex:
+            return value
+        comp = ScalarType(value.type.kind.real_kind)
+        return ir.MathCall(comp, name="real", args=[value])
 
     def _linear_index(self, expr: ast.CallIndex,
                       array_type: ArrayType) -> ir.Expr:

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import InterpreterError
 from repro.mlab.values import scalar_of, to_value
+from repro.numeric import range_count
 
 _CONSTANTS = {
     "pi": math.pi,
@@ -42,10 +43,17 @@ def char_to_double(text: str) -> np.ndarray:
 
 
 def colon(start: float, step: float, stop: float) -> np.ndarray:
-    """MATLAB colon operator with its inclusive-stop fencepost rule."""
-    if step == 0:
-        return np.zeros((1, 0))
-    count = math.floor((stop - start) / step + 1e-10) + 1
+    """MATLAB colon operator with its inclusive-stop fencepost rule.
+
+    The fencepost tolerance is the magnitude-relative rule shared with
+    the compile-time shape inferencer (:mod:`repro.numeric`), so the
+    interpreter and compiled code always agree on range lengths.
+    """
+    try:
+        count = range_count(start, step, stop)
+    except OverflowError:
+        raise InterpreterError(
+            "range with infinite bounds has no element count") from None
     if count <= 0:
         return np.zeros((1, 0))
     return (start + step * np.arange(count, dtype=np.float64)).reshape(1, -1)

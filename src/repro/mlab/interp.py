@@ -190,13 +190,10 @@ class MatlabInterpreter:
         iterable = self._eval(stmt.iterable, env)
         if isinstance(iterable, str):
             raise InterpreterError("cannot iterate over a string")
-        columns: list[np.ndarray]
-        if iterable.shape[0] == 1:
-            columns = [iterable[:, j:j + 1] for j in range(iterable.shape[1])]
-        else:
-            columns = [iterable[:, j:j + 1] for j in range(iterable.shape[1])]
-        for column in columns:
-            env[stmt.var] = column if column.size > 1 else column.copy()
+        for j in range(iterable.shape[1]):
+            # MATLAB binds each column *by value*: mutating the loop
+            # variable must never write through into the iterable.
+            env[stmt.var] = iterable[:, j:j + 1].copy()
             try:
                 self._exec_body(stmt.body, env)
             except _BreakLoop:
@@ -276,7 +273,9 @@ class MatlabInterpreter:
         indices = index_vector(
             self._eval_index_arg(subscript, array, env, dim=None), 1 << 60)
         if array.size == 0 and indices.size:
-            array = np.zeros((1, int(indices.max()) + 1))
+            # Keep the dtype chosen by _indexed_store (complex promotion
+            # for a complex stored value) when growing from empty.
+            array = np.zeros((1, int(indices.max()) + 1), dtype=array.dtype)
         if indices.size and indices.max() >= array.size:
             if array.shape[0] == 1:
                 grown = np.zeros((1, int(indices.max()) + 1),

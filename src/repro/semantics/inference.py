@@ -20,9 +20,9 @@ Inference is a forward abstract interpretation over the AST:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
+from repro import numeric
 from repro.errors import SemanticError, UnsupportedFeatureError
 from repro.frontend import ast_nodes as ast
 from repro.frontend.source import SourceFile, Span
@@ -213,6 +213,8 @@ class _FunctionAnalyzer:
         value_t = self.infer_expr(stmt.value, env)
         target = stmt.target
         if isinstance(target, ast.Identifier):
+            value_t = self._sticky_complex(target.name, value_t, env)
+            self._shape_stable(target.name, value_t, env, target.span)
             env.define(target.name, value_t, target.span)
             self._record(target, [value_t])
             return env
@@ -220,6 +222,48 @@ class _FunctionAnalyzer:
             return self._indexed_store(target, value_t, env)
         self.error("invalid assignment target", target.span)
         return env
+
+    def _sticky_complex(self, name: str, value_t: MType,
+                        env: Environment) -> MType:
+        """Once complex, a variable stays complex across reassignment.
+
+        The variable's storage is declared once with the *join* of all
+        its per-point types, so a complex variable reassigned with a
+        real value keeps complex storage (the value is stored with a
+        zero imaginary part).  Recording the widened type here keeps
+        the per-point record in sync with the storage the builder will
+        declare; the reverse direction (real storage, complex value)
+        widens the storage instead, and loads at real-typed program
+        points extract the real component."""
+        prior = env.lookup(name)
+        if prior is None or not prior.mtype.is_complex \
+                or value_t.is_complex:
+            return value_t
+        return MType(value_t.dtype, True, value_t.shape, value_t.value)
+
+    def _shape_stable(self, name: str, value_t: MType, env: Environment,
+                      span: Span) -> None:
+        """Reject array reassignment that changes the array's shape.
+
+        Storage is laid out once from the variable's final type; an
+        intermediate value with different dimensions (``a = a'`` on a
+        non-square matrix) would be linearized with the wrong leading
+        dimension and silently permute elements.  Scalar reassignment
+        and same-shape arrays are unaffected."""
+        prior = env.lookup(name)
+        if prior is None:
+            return
+        old_shape, new_shape = prior.mtype.shape, value_t.shape
+        if old_shape.is_scalar or new_shape.is_scalar:
+            return
+        old_dims = (old_shape.rows, old_shape.cols)
+        new_dims = (new_shape.rows, new_shape.cols)
+        if None in old_dims or None in new_dims or old_dims == new_dims:
+            return
+        self.unsupported(
+            f"reassignment changes the shape of {name!r} from "
+            f"{old_shape.describe()} to {new_shape.describe()}; array "
+            "shapes are fixed at the first assignment", span)
 
     def _indexed_store(self, target: ast.CallIndex, value_t: MType,
                        env: Environment) -> Environment:
@@ -806,14 +850,19 @@ def _fold_binop(op: str, a, b):
 
 
 def _range_count(start, stop, step) -> int | None:
-    """Number of elements of start:step:stop when all are constants."""
+    """Number of elements of start:step:stop when all are constants.
+
+    Delegates to the shared fencepost rule in :mod:`repro.numeric` —
+    the same one the golden interpreter evaluates at run time — so a
+    compiled range can never differ in length from an interpreted one.
+    """
     for v in (start, stop, step):
         if v is None or isinstance(v, (complex, str)):
             return None
-    if step == 0:
-        return 0
-    count = math.floor((float(stop) - float(start)) / float(step) + 1e-10) + 1
-    return max(count, 0)
+    try:
+        return numeric.range_count(float(start), float(step), float(stop))
+    except OverflowError:
+        return None
 
 
 def _merge_union(a: Environment, b: Environment) -> Environment:

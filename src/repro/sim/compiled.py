@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.asip.model import ProcessorDescription
 from repro.errors import SimulationError
+from repro.numeric import c_pow
 from repro.ir import nodes as ir
 from repro.ir.types import ArrayType, ScalarKind, ScalarType, VectorType
 from repro.sim.cost import CostModel, CycleReport
@@ -205,7 +206,7 @@ def _m_rem(a, b):
 
 
 def _m_pow(a, b):
-    return a ** b
+    return c_pow(a, b)
 
 
 def _m_conj(a):
@@ -252,6 +253,7 @@ _BASE_NS = {
     "_idiv": _idiv,
     "_fdiv": _fdiv,
     "_remop": _rem_op,
+    "_powop": c_pow,
     "_cmag2": _cmag2,
     "_npmin": np.minimum,
     "_npmax": np.maximum,
@@ -583,7 +585,7 @@ class _FuncCodegen:
             else:
                 code = f"_fdiv({lcode}, {rcode})"
         elif op == "pow":
-            code = f"({lcode} ** {rcode})"
+            code = f"_powop({lcode}, {rcode})"
         elif op == "rem":
             code = f"_remop({lcode}, {rcode})"
         elif op == "min":

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.asip.model import ProcessorDescription
 from repro.errors import SimulationError
+from repro.numeric import c_pow
 from repro.ir import nodes as ir
 from repro.ir.types import ArrayType, ScalarKind, ScalarType, VectorType
 from repro.sim.cost import CostModel, CycleReport
@@ -515,7 +516,7 @@ class Simulator:
                 return float("inf") if left > 0 else (
                     float("-inf") if left < 0 else float("nan"))
         if op == "pow":
-            return left ** right
+            return c_pow(left, right)
         if op == "rem":
             import math
             return math.fmod(left, right) if right != 0 else float("nan")
@@ -597,7 +598,7 @@ class Simulator:
             b = args[1]
             return math.fmod(a, b) if b != 0 else float("nan")
         if name == "pow":
-            return a ** args[1]
+            return c_pow(a, args[1])
         if name == "conj":
             return a.conjugate() if is_complex else a
         if name == "real":

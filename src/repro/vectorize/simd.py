@@ -76,6 +76,10 @@ class SimdVectorizer:
         induction variable don't count — that loop redefines the value
         before any use.
         """
+        # A function output is read by the caller after the loop even
+        # when no statement in the body mentions it again.
+        if any(p.name == name for p in self._func.outputs):
+            return True
 
         def count(body: list[ir.Stmt]) -> int:
             total = 0
@@ -123,8 +127,10 @@ class SimdVectorizer:
                        for s in ir.walk_statements(loop.body))
 
     def _temp(self, prefix: str) -> str:
+        # Leading underscore: MATLAB identifiers start with a letter, so
+        # generated names can never shadow a source variable.
         self._counter += 1
-        return f"{prefix}_{self._counter}"
+        return f"_{prefix}_{self._counter}"
 
     # ------------------------------------------------------------------
     # Loop analysis

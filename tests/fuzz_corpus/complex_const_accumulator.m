@@ -1,0 +1,3 @@
+function s = f(z)
+  s = sum(z);
+end

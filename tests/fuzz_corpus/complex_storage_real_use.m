@@ -1,0 +1,8 @@
+function w = f(c)
+  v = -3;
+  w = sign(v);
+  if c > 0
+    v = 2i;
+  end
+  w = w + real(v);
+end

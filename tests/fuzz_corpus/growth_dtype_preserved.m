@@ -1,0 +1,5 @@
+function d = f()
+  a = [];
+  a(2) = 2i;
+  d = imag(a(2));
+end

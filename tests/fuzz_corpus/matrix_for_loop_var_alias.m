@@ -1,0 +1,8 @@
+function [s, a] = f()
+  a = [1, 2; 3, 4];
+  s = 0;
+  for v = a
+    v = v + 100;
+    s = s + v(1) + v(2);
+  end
+end

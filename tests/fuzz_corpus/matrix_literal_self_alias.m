@@ -1,0 +1,4 @@
+function v = f()
+  v = [1, 2, 3, 4];
+  v = [v(2), v(1), v(4), v(3)];
+end

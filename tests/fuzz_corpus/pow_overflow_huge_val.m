@@ -1,0 +1,6 @@
+function v = f(x)
+  v = x;
+  for k = 1:8
+    v = v .^ 3;
+  end
+end

@@ -1,0 +1,4 @@
+function [n, m] = f()
+  n = length(0:1:(5 - 1e-11));
+  m = length(0:0.1:1);
+end

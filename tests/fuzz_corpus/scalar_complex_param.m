@@ -1,0 +1,3 @@
+function w = f(a)
+  w = a + 2i;
+end

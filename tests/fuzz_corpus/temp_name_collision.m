@@ -1,0 +1,6 @@
+function v2 = f()
+  v2 = 1;
+  for k4 = 1:3
+    v2 = (v2 .* k4) - sum(zeros(1, 3));
+  end
+end

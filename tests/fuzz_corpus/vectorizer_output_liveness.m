@@ -1,0 +1,6 @@
+function v1 = f(p0)
+  v1 = 0;
+  for k4 = 1:4
+    v1 = p0(end - 4);
+  end
+end
