@@ -11,11 +11,19 @@ they are written machine-readably to ``benchmarks/results/BENCH_e1.json``
 (per-kernel wall time for both simulator backends, cycle counts, and
 speedups) so future changes can be checked against the recorded
 trajectory.
+
+Parallel pre-warm: ``pytest benchmarks --jobs N`` compiles every
+(kernel, processor, options) combination the experiments request into
+a shared on-disk compilation cache (``REPRO_CACHE_DIR``) through
+:class:`repro.service.CompileService` before the first test runs, so
+the serially-measured experiments open on disk hits instead of cold
+compiles.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 from collections import defaultdict
 from pathlib import Path
@@ -28,6 +36,80 @@ _BENCH: dict[str, dict] = {}
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 BENCH_JSON = RESULTS_DIR / "BENCH_e1.json"
+
+
+#: Textual arg specs matching each workload's ``arg_types`` at the
+#: default scale (same vocabulary as ``repro-mc --args`` and
+#: ``examples/mlab/manifest.json``), so the pre-warm populates the
+#: exact cache keys the experiments will ask for.
+_PREWARM_SPECS = {
+    "fir": ["single:1x256", "single:1x32"],
+    "iir_biquad": ["double:1x256", "double:1x3", "double:1x3"],
+    "cdot": ["cdouble:1x256", "cdouble:1x256"],
+    "fft_spectrum": ["double:1x128"],
+    "matmul": ["single:32x32", "single:32x32"],
+    "xcorr_kernel": ["single:1x128", "single:1x256"],
+}
+
+_BASELINE_OPTIONS = {"mode": "baseline", "scalar_opt": False,
+                     "inline": False, "simd": False,
+                     "complex_isel": False, "scalar_mac": False}
+
+#: E6 sweeps these kernels over parametric SIMD widths.
+_SWEEP_KERNELS = ("fir", "matmul", "xcorr")
+_SWEEP_WIDTHS = (2, 4, 8, 16)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", type=int, default=0, dest="repro_jobs",
+        help="pre-warm a shared compilation cache with this many "
+             "worker processes before the experiments run (0 = off)")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _prewarm_compile_cache(request, tmp_path_factory):
+    jobs = request.config.getoption("repro_jobs")
+    if jobs < 1:
+        yield
+        return
+    from workloads import default_workloads
+
+    from repro.service import CompileJob, CompileService, next_job_id
+
+    created = not os.environ.get("REPRO_CACHE_DIR")
+    if created:
+        os.environ["REPRO_CACHE_DIR"] = str(
+            tmp_path_factory.mktemp("repro-cache"))
+    cache_dir = os.environ["REPRO_CACHE_DIR"]
+
+    combos = []
+    for workload in default_workloads():
+        processors = ["vliw_simd_dsp"]
+        if workload.name in _SWEEP_KERNELS:
+            processors += [f"simd_width:{w}" for w in _SWEEP_WIDTHS]
+        for processor in processors:
+            for options in ({}, dict(_BASELINE_OPTIONS)):
+                combos.append(CompileJob(
+                    job_id=next_job_id(), source=workload.source,
+                    args=list(_PREWARM_SPECS[workload.entry]),
+                    entry=workload.entry, processor=processor,
+                    options=options, filename=f"{workload.entry}.m",
+                    timeout=300.0))
+
+    with CompileService(jobs=jobs, cache_dir=cache_dir) as service:
+        batch = service.compile_batch(combos)
+    failed = batch.failed()
+    line = (f"pre-warmed {cache_dir} with "
+            f"{len(combos) - len(failed)}/{len(combos)} compilations "
+            f"({jobs} workers, {batch.wall_s:.1f}s)")
+    if failed:
+        line += "; failed: " + ", ".join(
+            f"{r.job_id} [{r.status}]" for r in failed)
+    print(line)
+    yield
+    if created:
+        del os.environ["REPRO_CACHE_DIR"]
 
 
 @pytest.fixture

@@ -11,5 +11,11 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy"],
-    entry_points={"console_scripts": ["repro-mc = repro.cli:main"]},
+    entry_points={
+        "console_scripts": [
+            "repro-mc = repro.cli:main",
+            "repro-fuzz = repro.fuzz.cli:main",
+            "repro-batch = repro.service.cli:main",
+        ]
+    },
 )

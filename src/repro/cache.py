@@ -18,6 +18,26 @@ Two layers:
 Cached :class:`~repro.compiler.CompilationResult` objects are shared
 between callers; treat them as immutable (the compiler and both
 simulator backends never mutate a finished module).
+
+Concurrency protocol (the disk layer is shared by the parallel
+compilation service's worker pool):
+
+* **Writes are atomic.**  Every write serializes into a fresh unique
+  temp file (``mkstemp`` in the destination directory, so the final
+  ``os.replace`` never crosses a filesystem boundary) and publishes it
+  with an atomic rename.  A concurrent reader therefore observes either
+  no entry or a complete entry — never a partially serialized pickle.
+* **Reads are lock-free.**  Readers just open the published path; the
+  worst outcome of racing a writer is a miss.  A corrupt entry (e.g.
+  version skew) is counted, unlinked, and treated as a miss.
+* **Contention is counted, not blocked.**  When a writer finds the
+  entry already published (another worker compiled the same key first),
+  it still replaces it — the pipeline is deterministic, so the bytes
+  are equivalent — and bumps ``disk_write_races`` so batch reports
+  surface duplicated work instead of hiding it.
+
+The in-memory LRU takes a plain ``threading.Lock`` around its mutations
+so one :class:`CompilationCache` can back a thread-pooled caller.
 """
 
 from __future__ import annotations
@@ -25,6 +45,8 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import tempfile
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
@@ -86,10 +108,14 @@ class CompilationCache:
                  cache_dir: "str | Path | None" = None):
         self.maxsize = maxsize
         self._entries: "OrderedDict[str, CompilationResult]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
         self.evictions = 0
+        self.disk_reads = 0
+        self.disk_writes = 0
+        self.disk_write_races = 0
         self.disk_read_errors = 0
         self.disk_write_errors = 0
         if cache_dir is None:
@@ -100,21 +126,25 @@ class CompilationCache:
 
     def get(self, key: str) -> "CompilationResult | None":
         session = obs_trace.current()
-        entry = self._entries.get(key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
         if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
             session.counter("cache.hit")
             return entry
         entry = self._disk_get(key)
         if entry is not None:
-            self.hits += 1
-            self.disk_hits += 1
+            with self._lock:
+                self.hits += 1
+                self.disk_hits += 1
             session.counter("cache.hit")
             session.counter("cache.disk_hit")
             self._remember(key, entry)
             return entry
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
         session.counter("cache.miss")
         return None
 
@@ -123,12 +153,16 @@ class CompilationCache:
         self._disk_put(key, result)
 
     def _remember(self, key: str, result: "CompilationResult") -> None:
-        self._entries[key] = result
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            obs_trace.current().counter("cache.evict")
+        evicted = 0
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if evicted:
+            obs_trace.current().counter("cache.evict", evicted)
 
     # -- disk layer ----------------------------------------------------
 
@@ -143,7 +177,10 @@ class CompilationCache:
             return None
         try:
             with path.open("rb") as stream:
-                return pickle.load(stream)
+                entry = pickle.load(stream)
+            with self._lock:
+                self.disk_reads += 1
+            return entry
         except Exception as exc:
             # A corrupt or version-skewed entry behaves as a miss, but
             # never silently: corruption that goes uncounted looks like
@@ -161,10 +198,34 @@ class CompilationCache:
             return
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            with tmp.open("wb") as stream:
-                pickle.dump(result, stream, pickle.HIGHEST_PROTOCOL)
-            tmp.replace(path)
+            # A fresh unique temp file per write: a shared pid-derived
+            # name would let two writers of the same key interleave
+            # their pickle streams and publish garbage.  mkstemp in the
+            # destination directory keeps os.replace atomic (same
+            # filesystem) and readers never see a partial entry.
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".{key[:16]}.tmp.", dir=path.parent)
+            try:
+                with os.fdopen(fd, "wb") as stream:
+                    pickle.dump(result, stream, pickle.HIGHEST_PROTOCOL)
+                raced = path.exists()
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            with self._lock:
+                self.disk_writes += 1
+                if raced:
+                    # Another worker published this key first; the
+                    # pipeline is deterministic so replacing is
+                    # harmless, but the duplicated compile is contention
+                    # worth surfacing in batch reports.
+                    self.disk_write_races += 1
+            if raced:
+                obs_trace.current().counter("cache.disk_write_race")
         except Exception as exc:
             # Disk persistence is best-effort (the in-memory entry
             # already satisfies this process) but the failure is
@@ -174,10 +235,11 @@ class CompilationCache:
     def _disk_error(self, kind: str, path: Path, exc: Exception) -> None:
         """Record one disk-layer failure in the cache's own stats, the
         ambient trace session's counters, and an analysis remark."""
-        if kind == "read":
-            self.disk_read_errors += 1
-        else:
-            self.disk_write_errors += 1
+        with self._lock:
+            if kind == "read":
+                self.disk_read_errors += 1
+            else:
+                self.disk_write_errors += 1
         session = obs_trace.current()
         session.counter(f"cache.disk_{kind}_error")
         session.remark(Remark(
@@ -188,19 +250,27 @@ class CompilationCache:
     # -- maintenance ---------------------------------------------------
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = self.misses = self.disk_hits = self.evictions = 0
-        self.disk_read_errors = self.disk_write_errors = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.disk_hits = self.evictions = 0
+            self.disk_reads = self.disk_writes = 0
+            self.disk_write_races = 0
+            self.disk_read_errors = self.disk_write_errors = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses,
-                "disk_hits": self.disk_hits, "evictions": self.evictions,
-                "disk_read_errors": self.disk_read_errors,
-                "disk_write_errors": self.disk_write_errors,
-                "size": len(self._entries)}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "disk_hits": self.disk_hits,
+                    "evictions": self.evictions,
+                    "disk_reads": self.disk_reads,
+                    "disk_writes": self.disk_writes,
+                    "disk_write_races": self.disk_write_races,
+                    "disk_read_errors": self.disk_read_errors,
+                    "disk_write_errors": self.disk_write_errors,
+                    "size": len(self._entries)}
 
 
 _default_cache = CompilationCache()

@@ -21,10 +21,12 @@ import argparse
 import json
 import os
 import sys
+import traceback
 
 from repro.asip.isa_library import available_processors, load_processor
 from repro.compiler import CompilerOptions, arg as make_arg, compile_source
-from repro.errors import ReproError
+from repro.errors import (EXIT_FAILURE, EXIT_INTERNAL, EXIT_OK,
+                          ReproError)
 from repro.observe import TraceSession, trace as obs_trace
 from repro.observe.hotspots import annotate_source
 from repro.observe.metrics import build_report, write_report
@@ -128,21 +130,48 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Exit codes are pinned (see :mod:`repro.errors`): 0 success,
+    1 operational failure, 2 usage error (argparse), 3 internal error.
+    """
     parser = build_parser()
     options = parser.parse_args(argv)
+    try:
+        return _run(options, parser)
+    except SystemExit:
+        raise
+    except OSError as exc:
+        # Unwritable --output/--trace-json/--metrics-json and friends.
+        print(f"repro-mc: error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    except Exception:
+        print("repro-mc: internal error:", file=sys.stderr)
+        traceback.print_exc()
+        return EXIT_INTERNAL
 
+
+def _run(options, parser) -> int:
     if options.list_processors:
         for name in available_processors():
             print(name)
-        return 0
+        return EXIT_OK
+
+    # Validate the processor name up front so every path (describe,
+    # emit-header, compile) reports it as a pinned operational failure
+    # instead of an internal KeyError traceback.
+    try:
+        load_processor(options.processor)
+    except KeyError as exc:
+        print(f"repro-mc: error: {exc.args[0]}", file=sys.stderr)
+        return EXIT_FAILURE
+
     if options.describe_processor:
         print(load_processor(options.processor).summary())
-        return 0
+        return EXIT_OK
     if options.emit_header and options.source is None:
         from repro.asip.header_gen import generate_header
         text = generate_header(load_processor(options.processor))
         _write_output(text, options.output)
-        return 0
+        return EXIT_OK
     if options.source is None:
         parser.error("a MATLAB source file is required")
     if options.hotspots and not options.simulate:
@@ -154,13 +183,13 @@ def main(argv: list[str] | None = None) -> int:
     except OSError as exc:
         print(f"repro-mc: cannot read {options.source}: {exc}",
               file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
 
     try:
         specs = [parse_arg_spec(s) for s in options.args.split(",") if s]
     except ValueError as exc:
         print(f"repro-mc: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
 
     # One explicit session spans compile and simulation when any
     # observability output was requested; otherwise stay on the
@@ -181,16 +210,18 @@ def main(argv: list[str] | None = None) -> int:
                                     options=pipeline,
                                     filename=options.source,
                                     use_cache=not options.no_cache)
-        except ReproError as exc:
+        except (ReproError, ValueError) as exc:
+            # ValueError covers script-only sources ("source defines no
+            # functions") — a user error, not an internal one.
             print(f"repro-mc: error: {exc}", file=sys.stderr)
-            return 1
+            return EXIT_FAILURE
 
         if options.remarks is not None:
             _print_remarks(result, options.remarks)
         if options.profile:
             _print_profile(result)
 
-        status, run = 0, None
+        status, run = EXIT_OK, None
         if options.simulate:
             status, run = _simulate(result, source, specs, options)
 
@@ -210,7 +241,7 @@ def main(argv: list[str] | None = None) -> int:
     else:
         text = result.c_source()
     _write_output(text, options.output)
-    return 0
+    return EXIT_OK
 
 
 def _print_remarks(result, which: str) -> None:
@@ -273,7 +304,7 @@ def _simulate(result, source: str, specs, options):
                               hotspots=options.hotspots)
     except (ReproError, ValueError) as exc:
         print(f"repro-mc: error: {exc}", file=sys.stderr)
-        return 1, None
+        return EXIT_FAILURE, None
     sim_wall = time.perf_counter() - t0
     print(f"entry: {result.entry_name} on {result.processor.name} "
           f"(seed {options.seed})")
@@ -294,16 +325,20 @@ def _simulate(result, source: str, specs, options):
         print(annotate_source(result.source, run.line_cycles))
 
     if options.compare_baseline:
-        baseline = compile_source(source, args=specs,
-                                  entry=options.entry,
-                                  processor=options.processor,
-                                  options=CompilerOptions.baseline(),
-                                  use_cache=not options.no_cache)
-        base_run = baseline.simulate(inputs, backend=options.backend)
+        try:
+            baseline = compile_source(source, args=specs,
+                                      entry=options.entry,
+                                      processor=options.processor,
+                                      options=CompilerOptions.baseline(),
+                                      use_cache=not options.no_cache)
+            base_run = baseline.simulate(inputs, backend=options.backend)
+        except (ReproError, ValueError) as exc:
+            print(f"repro-mc: error: {exc}", file=sys.stderr)
+            return EXIT_FAILURE, run
         speedup = base_run.report.total / max(run.report.total, 1)
         print(f"baseline cycles: {base_run.report.total}")
         print(f"speedup: {speedup:.2f}x")
-    return 0, run
+    return EXIT_OK, run
 
 
 def _write_output(text: str, path: str | None) -> None:

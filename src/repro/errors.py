@@ -1,6 +1,26 @@
-"""Exception hierarchy shared by all compiler stages."""
+"""Exception hierarchy shared by all compiler stages, and the exit-code
+contract shared by every CLI entry point.
+
+Exit codes are pinned (and tested in ``tests/test_cli.py``) so scripts
+and CI can branch on them:
+
+* ``EXIT_OK`` (0)       — success; for ``repro-fuzz``/``repro-batch``,
+  zero findings / all jobs succeeded.
+* ``EXIT_FAILURE`` (1)  — an *operational* failure: compile error,
+  unreadable input, unwritable report, fuzz divergences found, batch
+  jobs failed.
+* ``EXIT_USAGE`` (2)    — bad invocation (argparse's own convention).
+* ``EXIT_INTERNAL`` (3) — an unexpected internal exception; the CLI
+  prints the traceback to stderr instead of letting it escape, so a
+  crash is distinguishable from a legitimate failure.
+"""
 
 from __future__ import annotations
+
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_INTERNAL = 3
 
 
 class ReproError(Exception):

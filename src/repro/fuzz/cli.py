@@ -22,9 +22,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import traceback
 
+from repro.errors import EXIT_FAILURE, EXIT_INTERNAL, EXIT_OK
 from repro.fuzz.generator import ProgramGenerator
-from repro.fuzz.oracle import COMPILE_ENGINES, DifferentialOracle
+from repro.fuzz.oracle import (COMPILE_ENGINES, DifferentialOracle,
+                               Verdict, have_gcc)
 from repro.fuzz.reducer import reduce_program, write_reproducer
 from repro.observe import TraceSession, trace as obs_trace
 
@@ -70,23 +73,93 @@ def build_parser() -> argparse.ArgumentParser:
                              "the run to FILE")
     parser.add_argument("--print-programs", action="store_true",
                         help="print every generated program to stderr "
-                             "(debugging the generator)")
+                             "(debugging the generator; forces --jobs 1)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes; seeds are sharded and "
+                             "results merged in seed order (default 1)")
     return parser
+
+
+def _parse_engines(options, parser) -> "list[str] | None":
+    """Validate --backends; unavailable explicit requests are an error
+    (silently comparing against nothing would report success while
+    verifying nothing)."""
+    if options.backends is None:
+        return None
+    engines = [e.strip() for e in options.backends.split(",")
+               if e.strip()]
+    unknown = [e for e in engines if e not in COMPILE_ENGINES]
+    if unknown:
+        parser.error(f"unknown backend(s) {', '.join(unknown)}; "
+                     f"expected a subset of "
+                     f"{', '.join(COMPILE_ENGINES)}")
+    if options.mode == "compile":
+        missing = [e for e in engines
+                   if e == "gcc" and not have_gcc(options.cc)]
+        if missing:
+            parser.error(f"backend 'gcc' requested but "
+                         f"'{options.cc}' is not on PATH")
+        if not engines:
+            parser.error("--backends resolved to an empty engine set; "
+                         "nothing to compare against the interpreter")
+    return engines
+
+
+def _handle_failure(program, verdict, seed: int, options, oracle,
+                    seen_buckets: "set[str]",
+                    failures: "list[dict]") -> bool:
+    """Record one interesting verdict; print, dedup, reduce, write the
+    reproducer.  Returns True when the distinct-bucket budget is
+    exhausted and the run should stop."""
+    key = verdict.key()
+    fresh = key not in seen_buckets
+    seen_buckets.add(key)
+    print(f"seed {seed}: {verdict.status} "
+          f"[{verdict.engine}] {verdict.detail}"
+          + ("" if fresh else " (duplicate bucket)"))
+    if options.reduce and fresh:
+        program = reduce_program(program, verdict, oracle)
+    if options.corpus and fresh:
+        path = write_reproducer(options.corpus,
+                                f"seed{seed}", program, verdict)
+        print(f"  reproducer: {path}")
+    failures.append({
+        "seed": seed,
+        "status": verdict.status,
+        "engine": verdict.engine,
+        "detail": verdict.detail,
+        "bucket": verdict.bucket,
+        "source": program.source,
+    })
+    if len(seen_buckets) >= options.max_failures:
+        print(f"stopping after {options.max_failures} distinct "
+              "failure buckets")
+        return True
+    return False
 
 
 def main(argv: "list[str] | None" = None) -> int:
     parser = build_parser()
     options = parser.parse_args(argv)
+    try:
+        return _run(options, parser)
+    except SystemExit:
+        raise
+    except OSError as exc:
+        print(f"repro-fuzz: error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    except Exception:
+        print("repro-fuzz: internal error:", file=sys.stderr)
+        traceback.print_exc()
+        return EXIT_INTERNAL
 
-    engines = None
-    if options.backends is not None:
-        engines = [e.strip() for e in options.backends.split(",")
-                   if e.strip()]
-        unknown = [e for e in engines if e not in COMPILE_ENGINES]
-        if unknown:
-            parser.error(f"unknown backend(s) {', '.join(unknown)}; "
-                         f"expected a subset of "
-                         f"{', '.join(COMPILE_ENGINES)}")
+
+def _run(options, parser) -> int:
+    engines = _parse_engines(options, parser)
+    if options.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    jobs = 1 if options.print_programs else min(options.jobs,
+                                                max(options.count, 1))
 
     session = TraceSession()
     oracle = DifferentialOracle(engines=engines,
@@ -94,49 +167,51 @@ def main(argv: "list[str] | None" = None) -> int:
                                 cc=options.cc)
     failures: list[dict] = []
     seen_buckets: set[str] = set()
+    shard_counters: dict[str, int] = {}
 
     with obs_trace.use(session):
         if options.mode == "compile" and oracle.engines:
             print(f"engines: interp vs {', '.join(oracle.engines)}")
         elif options.mode == "compile":
             print("engines: (none available beyond the interpreter)")
-        for index in range(options.count):
-            seed = options.seed + index
-            generator = ProgramGenerator(seed, mode=options.mode)
-            program = generator.generate()
-            if options.print_programs:
-                print(f"% seed {seed}\n{program.source}",
-                      file=sys.stderr)
-            verdict = oracle.run(program)
-            if not verdict.interesting:
-                continue
+        if jobs > 1:
+            from repro.fuzz.parallel import run_sharded
+            records, shard_counters, _ = run_sharded(
+                jobs, options.seed, options.count, options.mode,
+                engines, options.processor, options.cc)
+            # Same streaming semantics as the serial loop, applied to
+            # the seed-ordered merge: dedup, reduce, and corpus writes
+            # happen here in the parent; the program is regenerated
+            # from its seed (generation is deterministic).
+            for record in records:
+                program = ProgramGenerator(
+                    record["seed"], mode=options.mode).generate()
+                verdict = Verdict(status=record["status"],
+                                  engine=record["engine"],
+                                  detail=record["detail"],
+                                  bucket=record["bucket"])
+                if _handle_failure(program, verdict, record["seed"],
+                                   options, oracle, seen_buckets,
+                                   failures):
+                    break
+        else:
+            for index in range(options.count):
+                seed = options.seed + index
+                generator = ProgramGenerator(seed, mode=options.mode)
+                program = generator.generate()
+                if options.print_programs:
+                    print(f"% seed {seed}\n{program.source}",
+                          file=sys.stderr)
+                verdict = oracle.run(program)
+                if not verdict.interesting:
+                    continue
+                if _handle_failure(program, verdict, seed, options,
+                                   oracle, seen_buckets, failures):
+                    break
 
-            key = verdict.key()
-            fresh = key not in seen_buckets
-            seen_buckets.add(key)
-            print(f"seed {seed}: {verdict.status} "
-                  f"[{verdict.engine}] {verdict.detail}"
-                  + ("" if fresh else " (duplicate bucket)"))
-            if options.reduce and fresh:
-                program = reduce_program(program, verdict, oracle)
-            if options.corpus and fresh:
-                path = write_reproducer(options.corpus,
-                                        f"seed{seed}", program, verdict)
-                print(f"  reproducer: {path}")
-            failures.append({
-                "seed": seed,
-                "status": verdict.status,
-                "engine": verdict.engine,
-                "detail": verdict.detail,
-                "bucket": verdict.bucket,
-                "source": program.source,
-            })
-            if len(seen_buckets) >= options.max_failures:
-                print(f"stopping after {options.max_failures} distinct "
-                      "failure buckets")
-                break
-
-    counters = session.counters
+    counters = dict(session.counters)
+    for name, value in shard_counters.items():
+        counters[name] = counters.get(name, 0) + value
     programs = counters.get("fuzz.programs", 0)
     summary = {
         "seed": options.seed,
@@ -163,7 +238,7 @@ def main(argv: "list[str] | None" = None) -> int:
         with open(options.metrics_json, "w") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)
             handle.write("\n")
-    return 1 if failures else 0
+    return EXIT_FAILURE if failures else EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,223 @@
+"""``repro-batch`` — the parallel batch compilation driver.
+
+Examples::
+
+    # Compile every example kernel over 8 workers (argument signatures
+    # come from the manifest.json next to the sources)
+    repro-batch compile 'examples/mlab/*.m' --jobs 8
+
+    # Explicit ISA, per-job timeout, C output files, aggregated report
+    repro-batch compile 'examples/mlab/*.m' --isa wide_simd_dsp \\
+        --jobs 4 --timeout 30 --out-dir build/ \\
+        --metrics-json batch.json --trace-json batch-trace.json
+
+    # One signature for every file (bypasses the manifest)
+    repro-batch compile kernels/*.m --args 'double:1x256,double:1x16'
+
+Per-file argument signatures resolve in order: an explicit
+``--manifest FILE``, a ``manifest.json`` sitting next to the source
+file, then the ``--args`` fallback.  A manifest maps file names to
+job fields::
+
+    {"fir.m": {"args": "single:1x256,single:1x32", "entry": "fir"}}
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+import traceback
+from pathlib import Path
+
+from repro.errors import EXIT_FAILURE, EXIT_INTERNAL, EXIT_OK
+from repro.service.jobs import CompileJob
+from repro.service.pool import CompileService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-batch",
+        description="Parallel MATLAB-to-C batch compiler with crash "
+                    "isolation, per-job timeouts, and an aggregated "
+                    "observability report")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_p = sub.add_parser(
+        "compile", help="compile a set of .m files over a worker pool")
+    compile_p.add_argument("patterns", nargs="+",
+                           help="source files or glob patterns "
+                                "(quote globs to let repro-batch "
+                                "expand them)")
+    compile_p.add_argument("--isa", "--processor", dest="processor",
+                           default="vliw_simd_dsp",
+                           help="target processor description name "
+                                "(default vliw_simd_dsp)")
+    compile_p.add_argument("--args", default=None,
+                           help="argument signature applied to files "
+                                "not covered by a manifest, e.g. "
+                                "'double:1x256,double:1x16'")
+    compile_p.add_argument("--manifest", default=None,
+                           help="JSON file mapping source names to "
+                                "{args, entry} (default: manifest.json "
+                                "next to each source, when present)")
+    compile_p.add_argument("--entry", default=None,
+                           help="entry function name (default: first "
+                                "function per file)")
+    compile_p.add_argument("--baseline", action="store_true",
+                           help="MATLAB-Coder-style baseline pipeline")
+    compile_p.add_argument("--jobs", type=int, default=None,
+                           help="worker process count "
+                                "(default: CPU count)")
+    compile_p.add_argument("--timeout", type=float, default=None,
+                           help="per-job deadline in seconds")
+    compile_p.add_argument("--retries", type=int, default=2,
+                           help="crash retries per job (default 2)")
+    compile_p.add_argument("--cache-dir", default=None,
+                           help="shared on-disk compilation cache "
+                                "(default: REPRO_CACHE_DIR)")
+    compile_p.add_argument("--out-dir", default=None,
+                           help="write one .c file per successful job "
+                                "into this directory")
+    compile_p.add_argument("--metrics-json", metavar="FILE", default=None,
+                           help="write the aggregated batch report "
+                                "to FILE")
+    compile_p.add_argument("--trace-json", metavar="FILE", default=None,
+                           help="write a merged Chrome trace (one "
+                                "swimlane per worker) to FILE")
+    compile_p.add_argument("--quiet", action="store_true",
+                           help="only print the batch summary line")
+    return parser
+
+
+def _expand_patterns(patterns: "list[str]") -> "list[Path]":
+    files: list[Path] = []
+    for pattern in patterns:
+        matches = sorted(glob.glob(pattern))
+        if matches:
+            files.extend(Path(m) for m in matches)
+        elif os.path.exists(pattern):
+            files.append(Path(pattern))
+    seen: set[Path] = set()
+    unique = []
+    for path in files:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def _load_manifest(path: Path) -> dict:
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def _job_fields(source: Path, options, manifests: dict) -> "dict | None":
+    """Per-file {args, entry} from the manifest chain; None when the
+    file has no signature anywhere."""
+    if options.manifest:
+        manifest = manifests.setdefault(
+            "__explicit__", _load_manifest(Path(options.manifest)))
+    else:
+        key = source.parent
+        if key not in manifests:
+            side = key / "manifest.json"
+            manifests[key] = _load_manifest(side) if side.is_file() else {}
+        manifest = manifests[key]
+    entry = dict(manifest.get(source.name, {}))
+    if "args" not in entry and options.args is not None:
+        entry["args"] = options.args
+    if "args" not in entry:
+        return None
+    return entry
+
+
+def _cmd_compile(options, parser) -> int:
+    files = _expand_patterns(options.patterns)
+    if not files:
+        parser.error(f"no source files match {options.patterns!r}")
+
+    manifests: dict = {}
+    jobs: list[CompileJob] = []
+    missing: list[str] = []
+    for path in files:
+        fields = _job_fields(path, options, manifests)
+        if fields is None:
+            missing.append(str(path))
+            continue
+        arg_specs = [s for s in str(fields["args"]).split(",") if s.strip()]
+        jobs.append(CompileJob(
+            job_id=path.name,
+            source=path.read_text(),
+            args=arg_specs,
+            entry=fields.get("entry", options.entry),
+            processor=options.processor,
+            options={"mode": "baseline", "scalar_opt": False,
+                     "inline": False, "simd": False,
+                     "complex_isel": False, "scalar_mac": False}
+            if options.baseline else {},
+            filename=str(path),
+            timeout=options.timeout))
+    if missing:
+        parser.error(
+            "no argument signature for: " + ", ".join(missing) +
+            " (add them to a manifest.json or pass --args)")
+
+    with CompileService(jobs=options.jobs, timeout=options.timeout,
+                        max_retries=options.retries,
+                        cache_dir=options.cache_dir) as service:
+        batch = service.compile_batch(jobs)
+
+    out_dir = Path(options.out_dir) if options.out_dir else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for result in batch.results:
+        if result.ok and out_dir is not None:
+            stem = Path(result.job_id).stem
+            (out_dir / f"{stem}.c").write_text(result.c_source)
+        if not options.quiet:
+            if result.ok:
+                print(f"ok      {result.job_id:<22} {result.entry_name} "
+                      f"({result.wall_s * 1e3:.1f} ms, "
+                      f"worker {result.worker_pid})")
+            else:
+                print(f"{result.status:<7} {result.job_id:<22} "
+                      f"{result.detail}")
+
+    if options.metrics_json:
+        batch.write_report(options.metrics_json)
+    if options.trace_json:
+        batch.write_chrome_trace(options.trace_json)
+
+    counts = batch.by_status()
+    summary = ", ".join(f"{counts[s]} {s}" for s in sorted(counts))
+    print(f"{len(batch.results)} jobs over {batch.workers} workers "
+          f"in {batch.wall_s:.2f}s: {summary}"
+          + (f" ({batch.rebuilds} pool rebuilds)" if batch.rebuilds
+             else ""))
+    return EXIT_OK if batch.ok else EXIT_FAILURE
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    try:
+        if options.command == "compile":
+            return _cmd_compile(options, parser)
+        parser.error(f"unknown command {options.command!r}")
+    except SystemExit:
+        raise
+    except OSError as exc:
+        print(f"repro-batch: error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    except Exception:
+        print("repro-batch: internal error:", file=sys.stderr)
+        traceback.print_exc()
+        return EXIT_INTERNAL
+    return EXIT_OK
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Job and result records exchanged between the service and workers.
+
+Everything that crosses the process boundary is built from plain data
+(strings, numbers, dicts, lists) so pickling is cheap and version-skew
+tolerant: a :class:`CompileJob` describes one compilation by *value*
+(source text, textual argument specs, processor spec, option switches)
+and a :class:`JobResult` carries the outcome plus the worker's
+observability streams in already-serialized form.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+#: Terminal job states.
+#:
+#: * ``ok``       — compiled; ``c_source`` holds the generated C.
+#: * ``error``    — the compile raised deterministically (bad source,
+#:                  unknown dtype, ...).  Never retried.
+#: * ``timeout``  — the per-job deadline fired (in-worker alarm) or the
+#:                  parent watchdog killed a stalled worker.
+#: * ``crash``    — the worker process died (segfault, ``os._exit``,
+#:                  OOM kill) more times than the retry budget allows.
+JOB_STATUSES = ("ok", "error", "timeout", "crash")
+
+_job_ids = itertools.count(1)
+
+
+def next_job_id(stem: str = "job") -> str:
+    """Process-unique job id (``stem-N``)."""
+    return f"{stem}-{next(_job_ids)}"
+
+
+@dataclass
+class CompileJob:
+    """One compilation request, described entirely by value."""
+
+    job_id: str
+    source: str
+    #: Textual argument specs (``"double:1x256"``, ``"cdouble:4x1"``),
+    #: the same syntax the CLIs accept.
+    args: list[str]
+    entry: "str | None" = None
+    #: Processor spec: a shipped description name, or
+    #: ``"simd_width:N"`` for the parametric E6 family.
+    processor: str = "vliw_simd_dsp"
+    #: :class:`repro.compiler.CompilerOptions` field overrides
+    #: (``{"mode": "baseline", "simd": False, ...}``); empty = full
+    #: optimizer.
+    options: dict = field(default_factory=dict)
+    filename: str = "<string>"
+    #: Per-job wall-clock deadline in seconds (None = no limit).
+    timeout: "float | None" = None
+    #: Fault-injection hook for the concurrency test tier; honored by
+    #: the worker only when the service was built with
+    #: ``allow_test_hooks=True``.  One of ``"crash"`` (``os._exit``),
+    #: ``"hang"`` (sleep far past any deadline), ``"exception"``.
+    test_hook: "str | None" = None
+
+
+@dataclass
+class JobResult:
+    """Structured outcome of one job (never an exception)."""
+
+    job_id: str
+    status: str
+    #: Generated C translation unit (``ok`` only).
+    c_source: "str | None" = None
+    entry_name: str = ""
+    #: Human-readable failure detail (non-``ok``).
+    detail: str = ""
+    #: Exception class name for ``error`` results.
+    error_type: str = ""
+    #: Times the job was handed to a worker (1 = first try succeeded).
+    attempts: int = 1
+    worker_pid: int = 0
+    #: Wall-clock seconds the final attempt spent in the worker.
+    wall_s: float = 0.0
+    #: ``time.time()`` in the worker when the attempt started; the
+    #: parent uses it to re-base worker spans onto its own timeline.
+    wall_origin: float = 0.0
+    stage_times: dict = field(default_factory=dict)
+    pass_stats: dict = field(default_factory=dict)
+    #: ``Remark.to_dict()`` records from the worker's trace session.
+    remarks: list = field(default_factory=list)
+    #: ``Span.to_dict()`` records from the worker's trace session.
+    spans: list = field(default_factory=list)
+    #: Worker trace-session counters accumulated while this job ran.
+    counters: dict = field(default_factory=dict)
+    #: Per-job *delta* of the worker's cache statistics, so summing
+    #: across results gives batch-wide totals that add up.
+    cache: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "status": self.status,
+            "entry": self.entry_name,
+            "detail": self.detail,
+            "error_type": self.error_type,
+            "attempts": self.attempts,
+            "worker_pid": self.worker_pid,
+            "wall_s": round(self.wall_s, 6),
+            "stage_times_s": dict(self.stage_times),
+            "pass_stats": dict(self.pass_stats),
+            "remarks": list(self.remarks),
+            "counters": dict(self.counters),
+            "cache": dict(self.cache),
+        }
+
+
+def resolve_processor(spec: str):
+    """Processor spec -> :class:`ProcessorDescription`.
+
+    Accepts a shipped description name (``vliw_simd_dsp``) or the
+    parametric ``simd_width:N`` family used by the width-sweep
+    benchmarks.
+    """
+    from repro.asip.isa_library import load_processor, simd_dsp_with_width
+
+    if spec.startswith("simd_width:"):
+        return simd_dsp_with_width(int(spec.split(":", 1)[1]))
+    return load_processor(spec)

@@ -1,0 +1,145 @@
+"""Aggregated batch results: one report for N workers' worth of work.
+
+Each worker compiles in its own process with its own trace session and
+cache; :class:`BatchResult` merges those observability streams back
+into a single picture:
+
+* **counters** are summed across jobs (plus batch-level counters for
+  job statuses and retries);
+* **cache statistics** are the sum of each job's *delta*, so
+  ``hits + misses`` equals the number of compile attempts that
+  actually ran — the add-up invariant the stress tests assert;
+* **remarks** are concatenated in job submission order, each tagged
+  with its job id;
+* **trace spans** are re-based from each worker's private clock onto
+  the parent timeline using the wall-clock origin the worker recorded
+  at job start, and exported as one Chrome trace with one ``tid`` per
+  worker process — a batch renders as parallel swimlanes in Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.service.jobs import JobResult
+
+BATCH_SCHEMA = "repro-batch-report-v1"
+
+
+@dataclass
+class BatchResult:
+    """Everything produced by one :meth:`CompileService.compile_batch`."""
+
+    results: "list[JobResult]"
+    wall_s: float
+    #: ``time.time()`` in the parent when the batch started (spans are
+    #: re-based against this).
+    wall_origin: float
+    workers: int
+    rebuilds: int = 0
+
+    # -- convenience views ---------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def by_status(self) -> "dict[str, int]":
+        counts: dict[str, int] = {}
+        for result in self.results:
+            counts[result.status] = counts.get(result.status, 0) + 1
+        return counts
+
+    def failed(self) -> "list[JobResult]":
+        return [result for result in self.results if not result.ok]
+
+    # -- aggregation ----------------------------------------------------
+
+    def counters(self) -> "dict[str, int]":
+        merged: dict[str, int] = {}
+        for result in self.results:
+            for name, value in result.counters.items():
+                merged[name] = merged.get(name, 0) + value
+        for status, count in self.by_status().items():
+            merged[f"batch.jobs_{status}"] = count
+        merged["batch.attempts"] = sum(r.attempts for r in self.results)
+        merged["batch.rebuilds"] = self.rebuilds
+        return merged
+
+    def cache_stats(self) -> "dict[str, int]":
+        merged: dict[str, int] = {}
+        for result in self.results:
+            for name, value in result.cache.items():
+                merged[name] = merged.get(name, 0) + value
+        return merged
+
+    def remarks(self) -> "list[dict]":
+        out: list[dict] = []
+        for result in self.results:
+            for remark in result.remarks:
+                tagged = dict(remark)
+                tagged["job_id"] = result.job_id
+                out.append(tagged)
+        return out
+
+    # -- exports --------------------------------------------------------
+
+    def to_report(self) -> dict:
+        """One JSON-serializable document for ``--metrics-json``."""
+        return {
+            "schema": BATCH_SCHEMA,
+            "workers": self.workers,
+            "wall_s": round(self.wall_s, 6),
+            "rebuilds": self.rebuilds,
+            "jobs": [result.to_dict() for result in self.results],
+            "by_status": self.by_status(),
+            "counters": self.counters(),
+            "cache": self.cache_stats(),
+        }
+
+    def write_report(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_report(), handle, indent=2)
+            handle.write("\n")
+
+    def to_chrome_trace(self) -> dict:
+        """All workers' spans on the parent timeline, one tid per
+        worker pid, plus a parent-level span covering the batch."""
+        events = [{
+            "name": "batch", "cat": "service", "ph": "X",
+            "ts": 0.0, "dur": round(self.wall_s * 1e6, 3),
+            "pid": 1, "tid": 0,
+            "args": {"workers": self.workers,
+                     "jobs": len(self.results),
+                     "rebuilds": self.rebuilds},
+        }]
+        for result in self.results:
+            # Worker span starts are relative to the worker session's
+            # origin == job start; re-base via the wall-clock offset
+            # between job start and batch start.
+            offset_s = max(result.wall_origin - self.wall_origin, 0.0)
+            tid = result.worker_pid or 1
+            for span in result.spans:
+                events.append({
+                    "name": span["name"],
+                    "cat": span["category"],
+                    "ph": "X",
+                    "ts": round((offset_s + span["start_s"]) * 1e6, 3),
+                    "dur": round(span["duration_s"] * 1e6, 3),
+                    "pid": 1,
+                    "tid": tid,
+                    "args": dict(span["args"], job_id=result.job_id),
+                })
+        end_us = round(self.wall_s * 1e6, 3)
+        for name, value in sorted(self.counters().items()):
+            events.append({
+                "name": name, "cat": "counter", "ph": "C",
+                "ts": end_us, "pid": 1, "tid": 0,
+                "args": {"value": value},
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=1)

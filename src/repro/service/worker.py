@@ -1,0 +1,123 @@
+"""Worker-side execution of one :class:`CompileJob`.
+
+Runs inside a ``ProcessPoolExecutor`` worker process.  Three
+guarantees, in decreasing order of how much of the process survives:
+
+* a compile **error** is caught and returned as a structured
+  ``JobResult`` — the worker stays warm;
+* a **timeout** is enforced in-process with ``SIGALRM`` (the executor
+  runs jobs on the worker's main thread, so the alarm interrupts pure
+  Python reliably) and also returned structurally;
+* a worker **crash** (segfault, ``os._exit``, OOM kill) is the only
+  case that escapes — the parent sees ``BrokenProcessPool`` and
+  handles isolation/retry there.
+
+The worker process owns a private in-memory LRU on top of the batch's
+shared on-disk cache directory (configured once per worker by
+:func:`init_worker`), so concurrent jobs contend only on the atomic
+disk layer.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+from repro import cache as _cache
+from repro.errors import ReproError
+from repro.observe import trace as obs_trace
+from repro.observe.trace import TraceSession
+from repro.service.jobs import CompileJob, JobResult, resolve_processor
+
+
+class _JobTimeout(Exception):
+    """Raised by the SIGALRM handler when the per-job deadline fires."""
+
+
+def _on_alarm(signum, frame):
+    raise _JobTimeout()
+
+
+def init_worker(cache_dir: "str | None", cache_size: int = 256) -> None:
+    """Pool initializer: point this worker at the batch's shared disk
+    cache (one in-memory LRU per worker, reused across its jobs)."""
+    _cache.configure(maxsize=cache_size, cache_dir=cache_dir)
+
+
+def _apply_test_hook(hook: "str | None") -> None:
+    """Fault injection for the concurrency test tier."""
+    if not hook:
+        return
+    if hook == "crash":
+        # Simulates a segfault/OOM kill: the process dies without
+        # cleanup, so the parent's future gets BrokenProcessPool.
+        os._exit(139)
+    if hook == "hang":
+        # Far past any sane deadline; the in-worker alarm (or, if the
+        # job carries no timeout, the parent watchdog) must recover.
+        time.sleep(3600.0)
+    if hook == "exception":
+        raise RuntimeError("injected worker exception (test hook)")
+    raise ValueError(f"unknown test hook {hook!r}")
+
+
+def run_job(job: CompileJob, allow_test_hooks: bool = False) -> JobResult:
+    """Execute one job; always returns (never raises) unless the
+    process itself dies."""
+    from repro.cli import parse_arg_spec
+    from repro.compiler import CompilerOptions, compile_source
+
+    wall_origin = time.time()
+    t0 = time.perf_counter()
+    session = TraceSession()
+    cache_before = _cache.stats()
+
+    result = JobResult(job_id=job.job_id, status="ok",
+                       worker_pid=os.getpid(), wall_origin=wall_origin)
+    alarm_set = False
+    old_handler = None
+    try:
+        if job.timeout and hasattr(signal, "SIGALRM"):
+            old_handler = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, job.timeout)
+            alarm_set = True
+        if allow_test_hooks:
+            _apply_test_hook(job.test_hook)
+        with obs_trace.use(session):
+            specs = [parse_arg_spec(s) for s in job.args]
+            compiled = compile_source(
+                job.source, args=specs, entry=job.entry,
+                processor=resolve_processor(job.processor),
+                options=CompilerOptions(**job.options),
+                filename=job.filename)
+            result.c_source = compiled.c_source()
+        result.entry_name = compiled.entry_name
+        result.stage_times = dict(compiled.stage_times)
+        result.pass_stats = dict(compiled.pass_stats)
+    except _JobTimeout:
+        result.status = "timeout"
+        result.detail = (f"job exceeded its {job.timeout:.3g}s deadline "
+                         "(killed by in-worker alarm)")
+    except (ReproError, ValueError, KeyError) as exc:
+        result.status = "error"
+        result.error_type = type(exc).__name__
+        result.detail = f"{type(exc).__name__}: {exc}"
+    except Exception as exc:  # internal bug — still isolate it
+        result.status = "error"
+        result.error_type = type(exc).__name__
+        result.detail = f"internal error: {type(exc).__name__}: {exc}"
+    finally:
+        if alarm_set:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, old_handler)
+
+    result.wall_s = time.perf_counter() - t0
+    result.remarks = [remark.to_dict() for remark in session.remarks]
+    result.spans = [span.to_dict() for span in session.spans]
+    result.counters = dict(session.counters)
+    cache_after = _cache.stats()
+    result.cache = {name: cache_after.get(name, 0) - before
+                    for name, before in cache_before.items()
+                    if name != "size"}
+    return result

@@ -1,5 +1,60 @@
 """Pytest configuration for the unit/integration suite.
 
-Shared helper functions live in :mod:`helpers`; this file only ensures
-the tests directory is importable as top-level modules.
+Shared helper functions live in :mod:`helpers`; this file also provides
+a per-test timeout fallback for the concurrency tier.  When
+``pytest-timeout`` is installed (CI installs it and passes
+``--timeout``), it owns enforcement and the fallback stays inert.  In
+environments without the plugin, an autouse SIGALRM fixture enforces
+the ``timeout(seconds)`` marker — and the ``REPRO_TEST_TIMEOUT``
+environment default, when set — so a wedged worker-pool test fails
+loudly instead of hanging the whole run.
 """
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from importlib.util import find_spec
+
+import pytest
+
+_HAVE_PYTEST_TIMEOUT = find_spec("pytest_timeout") is not None
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test when it runs longer than "
+        "``seconds`` (enforced by pytest-timeout when installed, "
+        "otherwise by the SIGALRM fallback in tests/conftest.py)")
+
+
+if not _HAVE_PYTEST_TIMEOUT:
+
+    @pytest.fixture(autouse=True)
+    def _sigalrm_test_timeout(request):
+        marker = request.node.get_closest_marker("timeout")
+        if marker and marker.args:
+            seconds = float(marker.args[0])
+        else:
+            seconds = float(os.environ.get("REPRO_TEST_TIMEOUT") or 0)
+        # SIGALRM only works on the main thread; tests running off it
+        # (none today) just forgo the fallback.
+        if seconds <= 0 or \
+                threading.current_thread() is not threading.main_thread():
+            yield
+            return
+
+        def _expired(signum, frame):
+            raise TimeoutError(
+                f"test exceeded {seconds:.0f}s (SIGALRM timeout "
+                "fallback; install pytest-timeout for stack dumps)")
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,102 @@
+"""Property-based tests for the shared range fencepost arithmetic.
+
+``repro.numeric.range_count`` is the single source of truth for MATLAB
+colon lengths — the compile-time shape inferencer and the runtime
+``colon()`` builtin both call it, so a defect here silently desyncs
+compiled code from the golden interpreter.  ``numpy.arange`` with an
+inclusive-stop adjustment is an independent oracle on exact integer
+grids; floating grids get bracketing and scale-invariance laws instead
+(exact equality is not defined there — that's the whole reason the
+tolerance exists).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.mlab.builtins_rt import colon
+from repro.numeric import range_count
+
+integer_grids = st.tuples(
+    st.integers(min_value=-1000, max_value=1000),   # start
+    st.integers(min_value=-50, max_value=50)        # step
+    .filter(lambda s: s != 0),
+    st.integers(min_value=-1000, max_value=1000))   # stop
+
+
+def _arange_inclusive(start: int, step: int, stop: int) -> np.ndarray:
+    """numpy oracle for MATLAB ``start:step:stop`` on integer grids."""
+    return np.arange(start, stop + (1 if step > 0 else -1), step,
+                     dtype=np.float64)
+
+
+@given(integer_grids)
+def test_integer_grid_count_matches_arange(grid):
+    start, step, stop = grid
+    oracle = _arange_inclusive(start, step, stop)
+    assert range_count(float(start), float(step), float(stop)) \
+        == len(oracle)
+
+
+@given(integer_grids)
+def test_colon_values_match_arange_on_integer_grids(grid):
+    start, step, stop = grid
+    oracle = _arange_inclusive(start, step, stop).reshape(1, -1)
+    produced = colon(float(start), float(step), float(stop))
+    assert produced.shape == oracle.shape
+    assert np.array_equal(produced, oracle)
+
+
+@given(integer_grids, st.integers(min_value=-20, max_value=20))
+def test_count_invariant_under_exact_scaling(grid, exponent):
+    # Scaling start/step/stop by a power of two is exact in binary
+    # floating point, so the element count must not change.
+    start, step, stop = grid
+    scale = 2.0 ** exponent
+    assert range_count(start * scale, step * scale, stop * scale) \
+        == range_count(float(start), float(step), float(stop))
+
+
+finite = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+steps = st.floats(min_value=1e-3, max_value=1e3,
+                  allow_nan=False, allow_infinity=False) \
+    | st.floats(min_value=-1e3, max_value=-1e-3,
+                allow_nan=False, allow_infinity=False)
+
+
+@given(finite, steps, finite)
+@settings(max_examples=200)
+def test_count_brackets_the_exact_quotient(start, step, stop):
+    quotient = (stop - start) / step
+    count = range_count(start, step, stop)
+    assert count >= 0
+    if quotient < -0.5:
+        assert count == 0
+    elif quotient >= 0:
+        # count = floor(q + tol) + 1 with 0 <= tol <= 0.25, hence:
+        assert quotient < count <= quotient + 1.25 + 1e-9
+
+
+@given(finite, steps, finite)
+@settings(max_examples=200)
+def test_colon_length_and_spacing_agree_with_count(start, step, stop):
+    # Bound the materialized length: correctness of the fencepost does
+    # not depend on allocating multi-megabyte ranges.
+    assume(abs((stop - start) / step) < 1e4)
+    produced = colon(start, step, stop)
+    count = range_count(start, step, stop)
+    assert produced.shape == (1, count) or \
+        (count == 0 and produced.shape == (1, 0))
+    if count:
+        expected = start + step * np.arange(count, dtype=np.float64)
+        assert np.array_equal(produced.ravel(), expected)
+
+
+def test_degenerate_ranges_are_empty():
+    assert range_count(0.0, 0.0, 5.0) == 0
+    assert range_count(float("nan"), 1.0, 5.0) == 0
+    assert range_count(5.0, 1.0, 0.0) == 0
+    assert colon(5.0, 1.0, 0.0).shape == (1, 0)

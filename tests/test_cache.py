@@ -280,3 +280,126 @@ def test_disk_revived_result_defaults_new_fields(tmp_path):
     revived = compile_source(SRC, args=ARGS)
     assert revived.cache_hits == 1        # counted on the disk hit
     assert isinstance(revived.remarks, list)
+
+
+# ----------------------------------------------------------------------
+# Multi-process safety of the disk layer
+#
+# Regression for the partial-write hazard: before the atomic
+# mkstemp + os.replace protocol, two processes writing the same key
+# (or a reader overlapping a writer) could observe a half-written
+# pickle.  These tests interleave real processes over one cache
+# directory and demand that every read is either a miss or a complete,
+# valid entry — never garbage.
+# ----------------------------------------------------------------------
+
+
+def _payload(tag: int) -> dict:
+    # Big enough that a non-atomic write would be observably partial.
+    return {"tag": tag, "blob": ("%06d" % tag) * 40000}
+
+
+def _writer_proc(cache_dir, key, tag, start, rounds):
+    from repro.cache import CompilationCache
+
+    private = CompilationCache(cache_dir=cache_dir)
+    start.wait()
+    for _ in range(rounds):
+        private._disk_put(key, _payload(tag))
+
+
+def test_interleaved_reader_writer_processes_never_see_partial(tmp_path):
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    key = "f" * 64
+    start = ctx.Event()
+    writers = [ctx.Process(target=_writer_proc,
+                           args=(str(tmp_path), key, tag, start, 25))
+               for tag in range(3)]
+    for proc in writers:
+        proc.start()
+
+    reader = cache.CompilationCache(cache_dir=tmp_path)
+    start.set()
+    observed = 0
+    while any(proc.is_alive() for proc in writers):
+        entry = reader._disk_get(key)
+        if entry is not None:
+            observed += 1
+            # A complete entry from exactly one writer; a torn write
+            # would either fail to unpickle (counted as read error)
+            # or mix tags and blob.
+            assert entry["blob"] == ("%06d" % entry["tag"]) * 40000
+    for proc in writers:
+        proc.join()
+        assert proc.exitcode == 0
+    assert observed > 0, "reader never overlapped a published entry"
+    assert reader.stats()["disk_read_errors"] == 0
+
+
+def test_concurrent_writers_leave_no_temp_files(tmp_path):
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    key = "e" * 64
+    start = ctx.Event()
+    writers = [ctx.Process(target=_writer_proc,
+                           args=(str(tmp_path), key, tag, start, 10))
+               for tag in range(3)]
+    for proc in writers:
+        proc.start()
+    start.set()
+    for proc in writers:
+        proc.join()
+    leftovers = [p for p in tmp_path.rglob("*") if ".tmp." in p.name]
+    assert leftovers == []
+    # The published entry is one writer's complete payload.
+    final = cache.CompilationCache(cache_dir=tmp_path)._disk_get(key)
+    assert final["blob"] == ("%06d" % final["tag"]) * 40000
+
+
+def test_disk_write_race_is_counted(tmp_path):
+    private = cache.CompilationCache(cache_dir=tmp_path)
+    key = "d" * 64
+    private._disk_put(key, _payload(1))
+    assert private.stats()["disk_write_races"] == 0
+    private._disk_put(key, _payload(2))   # key already published
+    stats = private.stats()
+    assert stats["disk_writes"] == 2
+    assert stats["disk_write_races"] == 1
+
+
+def test_stats_exposes_contention_counters():
+    expected = {"hits", "misses", "disk_hits", "evictions",
+                "disk_reads", "disk_writes", "disk_write_races",
+                "disk_read_errors", "disk_write_errors", "size"}
+    assert expected <= set(cache.stats())
+
+
+def test_thread_safety_smoke(tmp_path):
+    import threading
+
+    private = cache.CompilationCache(maxsize=8, cache_dir=tmp_path)
+    errors = []
+
+    def worker(tag: int) -> None:
+        try:
+            for i in range(30):
+                key = ("%02d" % (i % 12)) + "a" * 62
+                if private.get(key) is None:
+                    private.put(key, _payload(tag))
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(t,))
+               for t in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    stats = private.stats()
+    assert stats["hits"] + stats["misses"] == 6 * 30
+    assert stats["size"] <= 8
+    assert stats["disk_read_errors"] == 0

@@ -286,3 +286,150 @@ def test_profile_reports_cache_provenance(loop_file, capsys):
     second = capsys.readouterr().out
     assert "cache hit" in second
     assert "original compile" in second
+
+
+# ---------------------------------------------------------------------
+# Exit-code contract (repro.errors): 0 ok, 1 failure, 2 usage,
+# 3 internal error.  Pinned here so scripts and CI can rely on them.
+# ---------------------------------------------------------------------
+
+
+def test_exit_code_constants():
+    from repro.errors import (EXIT_FAILURE, EXIT_INTERNAL, EXIT_OK,
+                              EXIT_USAGE)
+
+    assert (EXIT_OK, EXIT_FAILURE, EXIT_USAGE, EXIT_INTERNAL) \
+        == (0, 1, 2, 3)
+
+
+def test_usage_error_exits_2(fir_file):
+    with pytest.raises(SystemExit) as info:
+        main([str(fir_file), "--no-such-flag"])
+    assert info.value.code == 2
+
+
+def test_unknown_processor_is_failure_not_traceback(fir_file, capsys):
+    assert main([str(fir_file), "--args", "double:1x16,double:1x4",
+                 "--processor", "no_such_dsp"]) == 1
+    err = capsys.readouterr().err
+    assert "no_such_dsp" in err
+    assert "Traceback" not in err
+
+
+def test_unwritable_output_is_failure(fir_file, capsys):
+    assert main([str(fir_file), "--args", "double:1x16,double:1x4",
+                 "-o", "/nonexistent/dir/out.c"]) == 1
+    err = capsys.readouterr().err
+    assert "error" in err
+    assert "Traceback" not in err
+
+
+def test_unwritable_metrics_json_is_failure(fir_file, capsys):
+    assert main([str(fir_file), "--args", "double:1x16,double:1x4",
+                 "--metrics-json", "/nonexistent/dir/m.json",
+                 "-o", "/dev/null"]) == 1
+
+
+def test_unwritable_trace_json_is_failure(fir_file, capsys):
+    assert main([str(fir_file), "--args", "double:1x16,double:1x4",
+                 "--trace-json", "/nonexistent/dir/t.json",
+                 "-o", "/dev/null"]) == 1
+
+
+def test_internal_error_exits_3(fir_file, capsys, monkeypatch):
+    import repro.cli as cli_mod
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("injected defect")
+
+    monkeypatch.setattr(cli_mod, "compile_source", boom)
+    assert main([str(fir_file), "--args", "double:1x16,double:1x4"]) == 3
+    err = capsys.readouterr().err
+    assert "internal error" in err
+    assert "injected defect" in err  # traceback is printed
+
+
+# ---------------------------------------------------------------------
+# repro-fuzz exit codes and --jobs
+# ---------------------------------------------------------------------
+
+
+def test_fuzz_clean_run_exits_0(capsys):
+    from repro.fuzz.cli import main as fuzz_main
+
+    assert fuzz_main(["--seed", "0", "--count", "2",
+                      "--backends", "reference"]) == 0
+
+
+def test_fuzz_unknown_backend_exits_2(capsys):
+    from repro.fuzz.cli import main as fuzz_main
+
+    with pytest.raises(SystemExit) as info:
+        fuzz_main(["--backends", "nope", "--count", "1"])
+    assert info.value.code == 2
+
+
+def test_fuzz_gcc_requested_but_missing_exits_2(capsys):
+    from repro.fuzz.cli import main as fuzz_main
+
+    with pytest.raises(SystemExit) as info:
+        fuzz_main(["--backends", "gcc", "--cc", "no-such-compiler",
+                   "--count", "1"])
+    assert info.value.code == 2
+    assert "not on PATH" in capsys.readouterr().err
+
+
+def test_fuzz_empty_backends_exits_2(capsys):
+    from repro.fuzz.cli import main as fuzz_main
+
+    with pytest.raises(SystemExit) as info:
+        fuzz_main(["--backends", ",", "--count", "1"])
+    assert info.value.code == 2
+
+
+def test_fuzz_unwritable_metrics_exits_1(capsys):
+    from repro.fuzz.cli import main as fuzz_main
+
+    assert fuzz_main(["--count", "1", "--backends", "reference",
+                      "--metrics-json", "/nonexistent/dir/f.json"]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_fuzz_internal_error_exits_3(capsys, monkeypatch):
+    import repro.fuzz.cli as fuzz_cli
+
+    class Boom:
+        def __init__(self, *args, **kwargs):
+            raise RuntimeError("injected defect")
+
+    monkeypatch.setattr(fuzz_cli, "DifferentialOracle", Boom)
+    assert fuzz_cli.main(["--count", "1"]) == 3
+    assert "internal error" in capsys.readouterr().err
+
+
+def test_fuzz_jobs_matches_serial(tmp_path, capsys):
+    import json
+
+    from repro.fuzz.cli import main as fuzz_main
+
+    serial_json = tmp_path / "serial.json"
+    par_json = tmp_path / "par.json"
+    assert fuzz_main(["--seed", "3", "--count", "8",
+                      "--backends", "reference",
+                      "--metrics-json", str(serial_json)]) == 0
+    assert fuzz_main(["--seed", "3", "--count", "8", "--jobs", "2",
+                      "--backends", "reference",
+                      "--metrics-json", str(par_json)]) == 0
+    serial = json.loads(serial_json.read_text())
+    par = json.loads(par_json.read_text())
+    for key in ("programs", "ok", "skipped", "divergences", "crashes",
+                "distinct_buckets", "failures", "engines"):
+        assert serial[key] == par[key], key
+
+
+def test_fuzz_jobs_must_be_positive(capsys):
+    from repro.fuzz.cli import main as fuzz_main
+
+    with pytest.raises(SystemExit) as info:
+        fuzz_main(["--count", "1", "--jobs", "0"])
+    assert info.value.code == 2

@@ -1,0 +1,329 @@
+"""Concurrency/stress tier for the parallel compilation service.
+
+Every test here must uphold the service's core contract: N workers x
+M jobs with injected crashes, hangs, and exceptions — no hang, no lost
+job, every job terminates in exactly one structured ``JobResult``, and
+the aggregated cache statistics add up.  The suite is the reason
+``tests/conftest.py`` carries a timeout fallback: a regression in the
+crash-isolation scheduler shows up as a wedge, and a wedge must fail,
+not stall CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import parse_arg_spec
+from repro.compiler import compile_source
+from repro.service import (CompileJob, CompileService, JOB_STATUSES,
+                           next_job_id)
+
+pytestmark = pytest.mark.timeout(180)
+
+MANIFEST = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "examples", "mlab", "manifest.json")
+
+
+def _kernel_jobs() -> "list[CompileJob]":
+    """The six example kernels with their manifest signatures."""
+    with open(MANIFEST) as handle:
+        manifest = json.load(handle)
+    kernel_dir = os.path.dirname(MANIFEST)
+    jobs = []
+    for name in sorted(manifest):
+        spec = manifest[name]
+        with open(os.path.join(kernel_dir, name)) as handle:
+            source = handle.read()
+        jobs.append(CompileJob(
+            job_id=name, source=source,
+            args=[s.strip() for s in spec["args"].split(",")],
+            entry=spec["entry"], filename=name))
+    return jobs
+
+
+def _simple_job(tag: int, **fields) -> CompileJob:
+    """A small, distinct compile job (distinct source => distinct
+    cache key, so cache hits in a test are intentional)."""
+    source = (f"function y = k{tag}(x)\n"
+              f"y = x * {tag}.0 + {tag}.0;\n"
+              "end")
+    return CompileJob(job_id=next_job_id(f"t{tag}"), source=source,
+                      args=["double:1x32"], **fields)
+
+
+# ---------------------------------------------------------------------
+# Happy path
+# ---------------------------------------------------------------------
+
+
+def test_batch_matches_serial_byte_for_byte(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    jobs = _kernel_jobs()
+    with CompileService(jobs=2) as service:
+        batch = service.compile_batch(jobs)
+    assert batch.ok
+    assert [r.job_id for r in batch.results] == [j.job_id for j in jobs]
+    for job, result in zip(jobs, batch.results):
+        serial = compile_source(
+            job.source, args=[parse_arg_spec(s) for s in job.args],
+            entry=job.entry, filename=job.filename, use_cache=False)
+        assert result.c_source == serial.c_source(), job.job_id
+        assert result.entry_name == serial.entry_name
+        assert result.attempts == 1
+        assert result.worker_pid > 0
+
+
+def test_batch_merges_observability_streams():
+    with CompileService(jobs=2) as service:
+        batch = service.compile_batch(_kernel_jobs())
+    assert batch.ok
+    counters = batch.counters()
+    assert counters["batch.jobs_ok"] == len(batch.results)
+    assert counters["batch.attempts"] == len(batch.results)
+    # Worker trace streams made it back and were re-based.
+    assert all(result.spans for result in batch.results)
+    trace = batch.to_chrome_trace()
+    events = trace["traceEvents"]
+    assert events[0]["name"] == "batch"
+    worker_tids = {e["tid"] for e in events
+                   if e["ph"] == "X" and e["name"] != "batch"}
+    assert worker_tids == {r.worker_pid for r in batch.results}
+    for event in events:
+        assert event["ph"] in ("X", "C")
+        assert event["ts"] >= 0
+        if event["ph"] == "X":
+            assert event["dur"] >= 0
+
+
+def test_cache_stats_add_up_for_clean_batch(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    jobs = [_simple_job(tag) for tag in range(8)]
+    with CompileService(jobs=2) as service:
+        batch = service.compile_batch(jobs)
+    assert batch.ok
+    stats = batch.cache_stats()
+    # Every job ran exactly one compile attempt; distinct sources mean
+    # every lookup resolves (hit or miss) exactly once per attempt.
+    assert stats["hits"] + stats["misses"] == len(jobs)
+
+
+def test_shared_disk_cache_across_service_restarts(tmp_path):
+    jobs = [_simple_job(tag) for tag in range(4)]
+    with CompileService(jobs=2, cache_dir=tmp_path) as service:
+        first = service.compile_batch(jobs)
+    assert first.ok
+    assert first.cache_stats()["disk_writes"] == len(jobs)
+    # Fresh workers: in-memory LRUs are cold, the disk layer is warm.
+    rerun = [CompileJob(job_id=f"re-{j.job_id}", source=j.source,
+                        args=list(j.args)) for j in jobs]
+    with CompileService(jobs=2, cache_dir=tmp_path) as service:
+        second = service.compile_batch(rerun)
+    assert second.ok
+    stats = second.cache_stats()
+    assert stats["hits"] == len(jobs)
+    assert stats["disk_hits"] == len(jobs)
+    assert stats["misses"] == 0
+    # Disk-hit results carry the same C as the original compiles.
+    by_id = {r.job_id: r for r in first.results}
+    for result in second.results:
+        assert result.c_source == by_id[result.job_id[3:]].c_source
+
+
+def test_batch_report_document(tmp_path):
+    with CompileService(jobs=1) as service:
+        batch = service.compile_batch([_simple_job(1), _simple_job(2)])
+    path = tmp_path / "batch.json"
+    batch.write_report(str(path))
+    report = json.loads(path.read_text())
+    assert report["schema"] == "repro-batch-report-v1"
+    assert report["by_status"] == {"ok": 2}
+    assert len(report["jobs"]) == 2
+    assert report["counters"]["batch.jobs_ok"] == 2
+
+
+# ---------------------------------------------------------------------
+# Fault injection: errors, crashes, timeouts, poison
+# ---------------------------------------------------------------------
+
+
+def test_compile_error_is_structured_and_not_retried():
+    bad = CompileJob(job_id="bad", source="function y = f(x)\n"
+                     "y = no_such_builtin(x);\nend",
+                     args=["double:1x8"])
+    with CompileService(jobs=1) as service:
+        batch = service.compile_batch([bad, _simple_job(3)])
+    assert [r.status for r in batch.results] == ["error", "ok"]
+    failed = batch.results[0]
+    assert failed.attempts == 1            # deterministic: no retry
+    assert failed.error_type
+    assert failed.detail
+    assert not batch.ok
+
+
+def test_crashing_job_is_isolated_from_innocent_jobs():
+    jobs = [_simple_job(tag) for tag in range(4)]
+    jobs.insert(2, CompileJob(job_id="boom", source="function y = f(x)\n"
+                              "y = x;\nend", args=["double:1x8"],
+                              test_hook="crash"))
+    with CompileService(jobs=2, max_retries=2, backoff=0.01,
+                        allow_test_hooks=True) as service:
+        batch = service.compile_batch(jobs)
+    by_id = {r.job_id: r for r in batch.results}
+    assert by_id["boom"].status == "crash"
+    assert by_id["boom"].attempts == 3     # first try + max_retries
+    innocents = [r for r in batch.results if r.job_id != "boom"]
+    assert all(r.status == "ok" for r in innocents)
+    assert len(batch.results) == len(jobs)
+
+
+def test_hanging_job_times_out_in_worker():
+    jobs = [_simple_job(5),
+            CompileJob(job_id="wedge", source="function y = f(x)\n"
+                       "y = x;\nend", args=["double:1x8"],
+                       test_hook="hang", timeout=1.0),
+            _simple_job(6)]
+    with CompileService(jobs=2, allow_test_hooks=True) as service:
+        batch = service.compile_batch(jobs)
+    by_id = {r.job_id: r for r in batch.results}
+    assert by_id["wedge"].status == "timeout"
+    assert "deadline" in by_id["wedge"].detail
+    assert by_id["wedge"].attempts == 1    # deterministic: no retry
+    assert sum(r.status == "ok" for r in batch.results) == 2
+
+
+def test_stall_watchdog_recovers_deadline_free_hang():
+    # No per-job timeout at all: only the parent watchdog can save
+    # this batch.
+    jobs = [CompileJob(job_id="wedge", source="function y = f(x)\n"
+                       "y = x;\nend", args=["double:1x8"],
+                       test_hook="hang")]
+    with CompileService(jobs=1, max_retries=0, stall_grace=2.0,
+                        backoff=0.01, allow_test_hooks=True) as service:
+        batch = service.compile_batch(jobs)
+    assert batch.results[0].status == "timeout"
+    assert "watchdog" in batch.results[0].detail
+
+
+def test_service_survives_batch_after_faults():
+    with CompileService(jobs=2, max_retries=1, backoff=0.01,
+                        allow_test_hooks=True) as service:
+        first = service.compile_batch([
+            CompileJob(job_id="boom", source="x", args=["double:1x8"],
+                       test_hook="crash"),
+            _simple_job(7)])
+        assert {r.status for r in first.results} == {"crash", "ok"}
+        second = service.compile_batch([_simple_job(8), _simple_job(9)])
+    assert second.ok
+
+
+def test_stress_matrix_mixed_faults():
+    """N workers x M jobs with every failure mode at once."""
+    hooks = {2: "crash", 5: "exception", 8: "hang"}
+    jobs = []
+    for tag in range(12):
+        job = _simple_job(tag, timeout=5.0)
+        job.test_hook = hooks.get(tag)
+        job.job_id = f"j{tag}"
+        jobs.append(job)
+    with CompileService(jobs=3, max_retries=1, backoff=0.01,
+                        allow_test_hooks=True) as service:
+        batch = service.compile_batch(jobs)
+
+    # No lost jobs, submission order preserved, legal statuses only.
+    assert [r.job_id for r in batch.results] == [j.job_id for j in jobs]
+    assert all(r.status in JOB_STATUSES for r in batch.results)
+    by_id = {r.job_id: r for r in batch.results}
+    assert by_id["j2"].status == "crash"
+    assert by_id["j2"].attempts == 2       # first try + max_retries=1
+    assert by_id["j5"].status == "error"   # exception, not a crash
+    # The error result itself is final (never retried), but the job may
+    # have been re-run once as an innocent bystander of j2's pool break.
+    assert 1 <= by_id["j5"].attempts <= 2
+    assert by_id["j8"].status == "timeout"
+    clean = [r for r in batch.results
+             if r.job_id not in ("j2", "j5", "j8")]
+    assert all(r.status == "ok" for r in clean)
+    # Cache add-up: every attempt that reached the compiler resolved
+    # exactly one lookup (j5's injected exception fires before the
+    # compile, so it contributes none).
+    stats = batch.cache_stats()
+    assert stats["hits"] + stats["misses"] == len(clean)
+    counters = batch.counters()
+    assert counters["batch.jobs_ok"] == len(clean)
+    assert counters["batch.attempts"] >= len(jobs)
+
+
+def test_acceptance_faults_amid_real_kernels():
+    """ISSUE acceptance: a run with an injected worker crash and one
+    timed-out job completes, reports exactly those two as failed, and
+    every other job's C is byte-identical to a serial compile."""
+    jobs = _kernel_jobs()
+    jobs.insert(2, CompileJob(job_id="crash-me", source="function y"
+                              " = f(x)\ny = x;\nend", args=["double:1x8"],
+                              test_hook="crash"))
+    jobs.insert(5, CompileJob(job_id="time-me-out", source="function y"
+                              " = f(x)\ny = x;\nend", args=["double:1x8"],
+                              test_hook="hang", timeout=1.0))
+    with CompileService(jobs=2, max_retries=1, backoff=0.01,
+                        allow_test_hooks=True) as service:
+        batch = service.compile_batch(jobs)
+    by_id = {r.job_id: r for r in batch.results}
+    assert by_id["crash-me"].status == "crash"
+    assert by_id["time-me-out"].status == "timeout"
+    assert sorted(r.job_id for r in batch.failed()) \
+        == ["crash-me", "time-me-out"]
+    for job in jobs:
+        if job.test_hook:
+            continue
+        serial = compile_source(
+            job.source, args=[parse_arg_spec(s) for s in job.args],
+            entry=job.entry, filename=job.filename, use_cache=False)
+        assert by_id[job.job_id].c_source == serial.c_source(), job.job_id
+
+
+def test_unknown_processor_spec_is_an_error_result():
+    job = _simple_job(10)
+    job.processor = "no_such_dsp"
+    with CompileService(jobs=1) as service:
+        batch = service.compile_batch([job])
+    assert batch.results[0].status == "error"
+    assert "no_such_dsp" in batch.results[0].detail
+
+
+def test_simd_width_processor_spec_compiles():
+    job = _simple_job(11)
+    job.processor = "simd_width:4"
+    with CompileService(jobs=1) as service:
+        batch = service.compile_batch([job])
+    assert batch.ok
+
+
+# ---------------------------------------------------------------------
+# Scaling (acceptance: gated on real parallelism being available)
+# ---------------------------------------------------------------------
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="needs >= 4 cores for a meaningful speedup")
+def test_parallel_speedup_cold_cache(monkeypatch):
+    import time
+
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+
+    def batch_jobs():
+        return [_simple_job(100 + tag) for tag in range(16)]
+
+    t0 = time.perf_counter()
+    with CompileService(jobs=1) as service:
+        assert service.compile_batch(batch_jobs()).ok
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    with CompileService(jobs=8) as service:
+        assert service.compile_batch(batch_jobs()).ok
+    parallel_s = time.perf_counter() - t0
+    assert parallel_s * 3.0 <= serial_s, \
+        f"serial {serial_s:.2f}s vs --jobs 8 {parallel_s:.2f}s"
