@@ -12,12 +12,20 @@ they are written machine-readably to ``benchmarks/results/BENCH_e1.json``
 speedups) so future changes can be checked against the recorded
 trajectory.
 
+Native-tier trajectory: tests measuring the in-process ``.so`` tier
+register entries through ``record_native_bench``; they are written to
+``benchmarks/results/BENCH_native.json`` (per-kernel wall time for all
+three execution tiers, cold vs warm native cache).
+
 Parallel pre-warm: ``pytest benchmarks --jobs N`` compiles every
 (kernel, processor, options) combination the experiments request into
 a shared on-disk compilation cache (``REPRO_CACHE_DIR``) through
 :class:`repro.service.CompileService` before the first test runs, so
 the serially-measured experiments open on disk hits instead of cold
-compiles.
+compiles.  The default-option jobs also carry ``warm_native=True`` so
+the workers publish each kernel's native ``.so`` into the sibling
+``<cache>/native`` store, which the parent process then points its own
+native cache at — the native-tier benchmarks open warm too.
 """
 
 from __future__ import annotations
@@ -33,9 +41,11 @@ import pytest
 _RESULTS: dict[str, list[dict]] = defaultdict(list)
 _HEADERS: dict[str, list[str]] = {}
 _BENCH: dict[str, dict] = {}
+_NATIVE_BENCH: dict[str, dict] = {}
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 BENCH_JSON = RESULTS_DIR / "BENCH_e1.json"
+BENCH_NATIVE_JSON = RESULTS_DIR / "BENCH_native.json"
 
 
 #: Textual arg specs matching each workload's ``arg_types`` at the
@@ -95,7 +105,17 @@ def _prewarm_compile_cache(request, tmp_path_factory):
                     args=list(_PREWARM_SPECS[workload.entry]),
                     entry=workload.entry, processor=processor,
                     options=options, filename=f"{workload.entry}.m",
-                    timeout=300.0))
+                    timeout=300.0,
+                    # Publish the native .so alongside the C artifact so
+                    # the native-tier benchmarks open warm (full-optimizer
+                    # configs only — those are what the experiments run).
+                    warm_native=not options))
+
+    # Point this (parent) process at the same native store the workers
+    # publish into, so simulate(backend="native") below opens on disk
+    # hits instead of cold gcc builds.
+    from repro import native
+    native.configure(cache_dir=os.path.join(cache_dir, "native"))
 
     with CompileService(jobs=jobs, cache_dir=cache_dir) as service:
         batch = service.compile_batch(combos)
@@ -137,6 +157,20 @@ def record_bench():
     return record
 
 
+@pytest.fixture
+def record_native_bench():
+    """Callable: record_native_bench(kernel, **fields).
+
+    Same accumulate-per-kernel contract as ``record_bench``; merged
+    records land in ``BENCH_native.json`` at session end.
+    """
+
+    def record(kernel: str, **fields) -> None:
+        _NATIVE_BENCH.setdefault(kernel, {"kernel": kernel}).update(fields)
+
+    return record
+
+
 def _format_table(experiment: str) -> str:
     headers = _HEADERS[experiment]
     rows = _RESULTS[experiment]
@@ -170,11 +204,33 @@ def _write_bench_json() -> None:
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
 
+def _write_native_bench_json() -> None:
+    kernels = [_NATIVE_BENCH[name] for name in sorted(_NATIVE_BENCH)]
+    comp = sum(k.get("compiled_wall_s", 0.0) for k in kernels)
+    nat = sum(k.get("native_warm_wall_s", 0.0) for k in kernels)
+    payload = {
+        "experiment": "native-tier",
+        "python": platform.python_version(),
+        "kernels": kernels,
+        "aggregate": {
+            "compiled_wall_s": round(comp, 6),
+            "native_warm_wall_s": round(nat, 6),
+            "native_speedup": round(comp / nat, 2) if nat else None,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    BENCH_NATIVE_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if _BENCH:
         _write_bench_json()
         terminalreporter.write_line(
             f"wrote backend wall-time trajectory to {BENCH_JSON}")
+    if _NATIVE_BENCH:
+        _write_native_bench_json()
+        terminalreporter.write_line(
+            f"wrote native-tier trajectory to {BENCH_NATIVE_JSON}")
     if not _RESULTS:
         return
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -19,8 +19,29 @@ from repro.backend.c_types import c_type_name
 from repro.errors import BackendError
 from repro.ir.types import ArrayType, ScalarKind, ScalarType
 
-#: Strict-ANSI flags used by tests (the paper targets "any C compiler").
-DEFAULT_FLAGS = ["-std=c89", "-pedantic", "-O1", "-lm"]
+#: Strict-ANSI conformance flags (the paper targets "any C compiler");
+#: shared by the exec harness and the native ``.so`` build.
+STRICT_FLAGS = ["-std=c89", "-pedantic"]
+
+#: Compile-phase flags for the exec harness.
+COMPILE_FLAGS = [*STRICT_FLAGS, "-O1"]
+
+#: Link-phase flags.  Kept separate from the compile flags so ``-lm``
+#: is always passed *after* the source files: toolchains that process
+#: libraries positionally resolve undefined symbols left to right, and
+#: a leading ``-lm`` silently links nothing.
+LINK_FLAGS = ["-lm"]
+
+#: Back-compat combined set; callers passing one flat list get it
+#: re-split by :func:`split_flags` before the compiler is invoked.
+DEFAULT_FLAGS = [*COMPILE_FLAGS, *LINK_FLAGS]
+
+
+def split_flags(flags: "list[str]") -> "tuple[list[str], list[str]]":
+    """Split one flat flag list into (compile flags, link flags)."""
+    link = [f for f in flags if f.startswith("-l")]
+    compile_ = [f for f in flags if not f.startswith("-l")]
+    return compile_, link
 
 
 def _literal(value: float, f32: bool) -> str:
@@ -145,8 +166,7 @@ def run_via_gcc(result, args: list[object], cc: str = "gcc",
         c_path = workdir / "generated.c"
         exe_path = workdir / "generated"
         c_path.write_text(source)
-        link_flags = [f for f in flags if f.startswith("-l")]
-        compile_flags = [f for f in flags if not f.startswith("-l")]
+        compile_flags, link_flags = split_flags(flags)
         proc = subprocess.run(
             [cc, *compile_flags, str(c_path), "-o", str(exe_path),
              *link_flags],

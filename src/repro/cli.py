@@ -88,11 +88,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "pipeline and report the speedup")
     parser.add_argument("--seed", type=int, default=0,
                         help="random seed for --simulate inputs")
-    parser.add_argument("--backend", choices=["compiled", "reference"],
+    parser.add_argument("--backend",
+                        choices=["compiled", "reference", "native"],
                         default=None,
-                        help="simulator backend for --simulate: 'compiled' "
-                             "(default; one-time translation, fast) or "
-                             "'reference' (tree-walking interpreter)")
+                        help="execution backend for --simulate: 'compiled' "
+                             "(default; one-time translation, fast), "
+                             "'reference' (tree-walking interpreter), or "
+                             "'native' (emitted C built once into a "
+                             "cached .so and called in-process; "
+                             "host-hardware speed, no cycle accounting; "
+                             "requires a host C compiler)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the content-addressed compilation "
                              "cache")
@@ -176,6 +181,14 @@ def _run(options, parser) -> int:
         parser.error("a MATLAB source file is required")
     if options.hotspots and not options.simulate:
         parser.error("--hotspots requires --simulate")
+    if options.backend == "native" and options.hotspots:
+        parser.error("--hotspots needs cycle accounting; the native "
+                     "backend has none (use --backend compiled or "
+                     "reference)")
+    if options.backend == "native" and options.compare_baseline:
+        parser.error("--compare-baseline reports cycle speedups; the "
+                     "native backend has no cycle accounting (use "
+                     "--backend compiled or reference)")
 
     try:
         with open(options.source) as handle:
@@ -311,6 +324,17 @@ def _simulate(result, source: str, specs, options):
     if options.profile:
         backend = options.backend or "compiled"
         print(f"simulation wall time ({backend}): {sim_wall * 1e3:.2f} ms")
+    if options.backend == "native":
+        # The native tier runs the emitted C at host speed; it has no
+        # cycle model, so report execution facts instead of cycles.
+        from repro.native import stats as native_stats
+        print(f"native run: {sim_wall * 1e3:.2f} ms wall "
+              f"(cache: {native_stats()})")
+        for index, value in enumerate(run.outputs):
+            array = np.atleast_2d(np.asarray(value))
+            print(f"  out{index}: shape {array.shape[0]}x{array.shape[1]} "
+                  f"checksum {complex(array.astype(complex).sum()):.6g}")
+        return EXIT_OK, run
     print(f"cycles: {run.report.total}")
     for category in sorted(run.report.by_category):
         print(f"  {category:<10} {run.report.by_category[category]}")

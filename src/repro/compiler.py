@@ -82,14 +82,16 @@ class CompilerOptions:
                                complex_isel=False, scalar_mac=False)
 
 
-#: Simulator backends accepted by :meth:`CompilationResult.simulate`.
-SIM_BACKENDS = ("compiled", "reference")
+#: Execution backends accepted by :meth:`CompilationResult.simulate`:
+#: the two cycle-accounting simulators plus the native ``.so`` tier.
+SIM_BACKENDS = ("compiled", "reference", "native")
 
 #: Lazily-built per-result runtime state that must never be pickled
-#: (the compiled program holds exec'd code objects) or shared through
-#: the compilation cache's disk layer.
+#: (the compiled program holds exec'd code objects, the native program
+#: a dlopened library) or shared through the compilation cache's disk
+#: layer.
 _RUNTIME_ATTRS = ("_compiled_program", "_compiled_program_profiled",
-                  "_sim_runs", "_trace")
+                  "_native_programs", "_sim_runs", "_trace")
 
 #: Bound on the per-result (args, backend) -> ExecutionResult store
 #: that backs :meth:`CompilationResult.instruction_mix` reuse.
@@ -162,6 +164,27 @@ class CompilationResult:
             setattr(self, attr, program)
         return program
 
+    def native_program(self, cc: str = "gcc"):
+        """The in-process native executor for this module.
+
+        Built once per (result, compiler): the emitted translation unit
+        plus the fixed-ABI dispatch wrapper is compiled to a ``.so``
+        behind the content-addressed native artifact cache
+        (:mod:`repro.native.builder`), dlopened, and reused for every
+        subsequent call.  A warm artifact cache means zero compiler
+        invocations here.
+        """
+        programs = getattr(self, "_native_programs", None)
+        if programs is None:
+            programs = {}
+            self._native_programs = programs
+        program = programs.get(cc)
+        if program is None:
+            from repro.native import NativeProgram
+            program = NativeProgram(self.module, self.processor, cc=cc)
+            programs[cc] = program
+        return program
+
     @staticmethod
     def _resolve_backend(backend: str | None) -> str:
         if backend is None:
@@ -180,22 +203,35 @@ class CompilationResult:
             args: runtime argument values matching the compiled
                 signature.
             backend: ``"compiled"`` (default; one-time translation to
-                Python closures, reused across runs) or ``"reference"``
-                (the tree-walking interpreter).  The default can be
-                overridden with the ``REPRO_SIM_BACKEND`` environment
-                variable.  Both backends produce identical outputs and
-                identical cycle reports.
+                Python closures, reused across runs), ``"reference"``
+                (the tree-walking interpreter), or ``"native"`` (the
+                emitted C compiled once to a shared object and called
+                in-process — host-hardware speed, but no cycle
+                accounting: the returned report is empty).  The default
+                can be overridden with the ``REPRO_SIM_BACKEND``
+                environment variable.  The two simulator backends
+                produce identical outputs and identical cycle reports;
+                the native tier produces value-identical outputs up to
+                host-libm/printf differences (the fuzz oracle's gcc
+                tolerances).
             hotspots: also record per-source-line cycle attribution
                 (``ExecutionResult.line_cycles`` / ``hotspots()``).
-                Both backends attribute identically.
+                Both simulator backends attribute identically; the
+                native tier does not support profiling.
         """
         backend = self._resolve_backend(backend)
+        if backend == "native" and hotspots:
+            raise ValueError(
+                "the native backend performs no cycle accounting; "
+                "use backend='compiled' or 'reference' for hotspots")
         session = obs_trace.current()
         with session.span("simulate", "sim", backend=backend,
                           entry=self.entry_name) as span:
             if backend == "compiled":
                 result = self.compiled_program(
                     profile_lines=hotspots).run(args)
+            elif backend == "native":
+                result = self.native_program().run(args)
             else:
                 from repro.sim.machine import Simulator
                 result = Simulator(self.module, self.processor,

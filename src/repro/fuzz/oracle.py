@@ -7,7 +7,14 @@ compares the outputs:
 * ``reference`` — the tree-walking IR simulator;
 * ``compiled`` — the compiled-closure simulator backend;
 * ``gcc`` — the emitted ANSI C compiled by a host C compiler and
-  executed (only when a compiler is on PATH).
+  executed (only when a compiler is on PATH).  Two harnesses: the
+  default ``"native"`` builds one ``.so`` per program behind the
+  content-addressed native artifact cache and calls it in-process
+  (one compiler invocation per program, however many input points are
+  evaluated); ``"exec"`` is the legacy text-mode path — a fresh
+  main()-wrapper executable per call with inputs embedded and outputs
+  parsed back from stdout — kept as a fallback and as a regression
+  path for the printf round-trip itself.
 
 The interpreter is the golden model: every other engine is compared
 against it.  Comparison is NaN-aware (NaN positions must match
@@ -237,18 +244,30 @@ def _desugar_matrix_for(program: ast.Program) -> "ast.Program | None":
 # ----------------------------------------------------------------------
 
 
+#: gcc-engine harnesses: ``"native"`` = in-process ``.so`` dispatch
+#: (compile once per program), ``"exec"`` = per-call main()-wrapper
+#: executable with printf/stdout output parsing.
+GCC_HARNESSES = ("native", "exec")
+
+
 class DifferentialOracle:
     """Runs programs through every engine and compares the results."""
 
     def __init__(self, engines: "tuple[str, ...] | list[str]" = None,
-                 processor: str = "vliw_simd_dsp", cc: str = "gcc"):
+                 processor: str = "vliw_simd_dsp", cc: str = "gcc",
+                 harness: str = "native"):
         if engines is None:
             engines = list(COMPILE_ENGINES)
         engines = [e for e in engines
                    if e != "gcc" or have_gcc(cc)]
+        if harness not in GCC_HARNESSES:
+            raise ValueError(
+                f"unknown gcc harness {harness!r}; expected one of "
+                f"{GCC_HARNESSES}")
         self.engines = tuple(engines)
         self.processor = processor
         self.cc = cc
+        self.harness = harness
 
     # -- public ---------------------------------------------------------
 
@@ -261,6 +280,73 @@ class DifferentialOracle:
             verdict = self._run_compile_mode(program)
         session.counter(f"fuzz.{verdict.status}")
         return verdict
+
+    def run_points(self, program: GeneratedProgram,
+                   points: "list[list[object]]") -> "list[Verdict]":
+        """Judge one compile-mode program on several input points.
+
+        The translation unit is compiled **once** and every execution
+        artifact (compiled-closure program, native ``.so``) is reused
+        across points — with the default native harness that means one
+        compiler invocation for the whole point set, not one per oracle
+        call.  Returns one verdict per point, stopping early at the
+        first interesting one.
+        """
+        session = obs_trace.current()
+        session.counter("fuzz.programs")
+        try:
+            result = compile_source(
+                program.source, args=program.arg_specs(),
+                entry=program.entry, processor=self.processor,
+                options=CompilerOptions(), use_cache=False)
+        except UnsupportedFeatureError as exc:
+            return [Verdict(status="skip", engine="compile",
+                            detail=str(exc))]
+        except Exception as exc:
+            return [Verdict(status="crash", engine="compile",
+                            detail=f"{type(exc).__name__}: {exc}",
+                            bucket=_bucket("compile", exc))]
+        verdicts: list[Verdict] = []
+        for inputs in points:
+            verdict = self._judge_point(result, program, inputs)
+            verdicts.append(verdict)
+            session.counter(f"fuzz.{verdict.status}")
+            if verdict.interesting:
+                break
+        return verdicts
+
+    def _judge_point(self, result, program: GeneratedProgram,
+                     inputs: "list[object]",
+                     golden: "list[object] | None" = None) -> Verdict:
+        """Compare every engine against the interpreter on one point."""
+        if golden is None:
+            try:
+                golden = MatlabInterpreter(program.source).call(
+                    program.entry, list(inputs), nargout=program.nargout)
+            except Exception as exc:
+                return Verdict(status="crash", engine="interp",
+                               detail=f"{type(exc).__name__}: {exc}",
+                               bucket=_bucket("interp", exc))
+        dtype = _program_dtype(program)
+        ran: list[str] = ["interp"]
+        for engine in self.engines:
+            try:
+                outputs = self._run_engine(result, engine, list(inputs))
+            except Exception as exc:
+                return Verdict(status="crash", engine=engine,
+                               detail=f"{type(exc).__name__}: {exc}",
+                               bucket=_bucket(engine, exc),
+                               engines_run=tuple(ran), golden=golden)
+            ran.append(engine)
+            path = "gcc" if engine == "gcc" else "sim"
+            rtol = _TOLERANCE[(dtype, path)]
+            mismatch = compare_outputs(golden, outputs, rtol)
+            if mismatch is not None:
+                return Verdict(status="divergence", engine=engine,
+                               detail=mismatch, engines_run=tuple(ran),
+                               golden=golden)
+        return Verdict(status="ok", engines_run=tuple(ran),
+                       golden=golden)
 
     # -- compile mode ---------------------------------------------------
 
@@ -290,32 +376,16 @@ class DifferentialOracle:
                            detail=f"{type(exc).__name__}: {exc}",
                            bucket=_bucket("compile", exc), golden=golden)
 
-        dtype = _program_dtype(program)
-        ran: list[str] = ["interp"]
-        for engine in self.engines:
-            try:
-                outputs = self._run_engine(result, engine, program)
-            except Exception as exc:
-                return Verdict(status="crash", engine=engine,
-                               detail=f"{type(exc).__name__}: {exc}",
-                               bucket=_bucket(engine, exc),
-                               engines_run=tuple(ran), golden=golden)
-            ran.append(engine)
-            path = "gcc" if engine == "gcc" else "sim"
-            rtol = _TOLERANCE[(dtype, path)]
-            mismatch = compare_outputs(golden, outputs, rtol)
-            if mismatch is not None:
-                return Verdict(status="divergence", engine=engine,
-                               detail=mismatch, engines_run=tuple(ran),
-                               golden=golden)
-        return Verdict(status="ok", engines_run=tuple(ran), golden=golden)
+        return self._judge_point(result, program, program.inputs(),
+                                 golden=golden)
 
     def _run_engine(self, result, engine: str,
-                    program: GeneratedProgram) -> list[object]:
-        inputs = program.inputs()
+                    inputs: "list[object]") -> list[object]:
         if engine == "gcc":
-            from repro.backend.harness import run_via_gcc
-            return run_via_gcc(result, inputs, cc=self.cc)
+            if self.harness == "exec":
+                from repro.backend.harness import run_via_gcc
+                return run_via_gcc(result, inputs, cc=self.cc)
+            return result.native_program(cc=self.cc).run(inputs).outputs
         return result.simulate(inputs, backend=engine).outputs
 
     # -- interpreter-only mode ------------------------------------------

@@ -1,0 +1,115 @@
+"""In-process execution of one compiled module through its ``.so``.
+
+A :class:`NativeProgram` owns the loaded shared object plus the
+marshalling plan for the entry signature.  ``run`` marshals arguments
+into flat column-major element buffers (zero-copy views whenever the
+caller's numpy array already has the right dtype — the common case for
+benchmark/fuzz inputs), dispatches through the fixed-ABI wrapper, and
+returns output buffers as reshaped numpy *views* (no copy) in MATLAB
+shape.
+
+No cycle accounting happens here: the returned
+:class:`~repro.sim.machine.ExecutionResult` carries an empty
+:class:`~repro.sim.cost.CycleReport`.  ``Emit``/``printf`` statements
+in the generated C write to the real process stdout (they are not
+captured the way the simulators capture them).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import shutil
+import time
+
+import numpy as np
+
+from repro.errors import BackendError, SimulationError
+from repro.ir.types import ScalarKind, ScalarType
+from repro.native.abi import (WRAPPER_SYMBOL, Slot, build_plan,
+                              native_source)
+from repro.native.builder import default_cache
+from repro.observe import trace as obs_trace
+from repro.sim.cost import CycleReport
+from repro.sim.machine import ExecutionResult, coerce_scalar
+
+
+def _marshal_input(slot: Slot, value: object) -> np.ndarray:
+    """One C-layout element buffer for ``value`` (a view when the
+    caller's array already matches dtype and layout)."""
+    if slot.is_array:
+        buf = np.ravel(np.asarray(value), order="F")
+        if buf.size != slot.numel:
+            raise SimulationError(
+                f"argument {slot.name!r}: expected {slot.numel} "
+                f"elements, got {buf.size}")
+        if buf.dtype != slot.dtype:
+            buf = buf.astype(slot.dtype)
+        return buf
+    scalar = coerce_scalar(value, ScalarType(slot.kind))
+    if slot.kind is ScalarKind.BOOL:
+        scalar = int(scalar)
+    return np.full(1, scalar, dtype=slot.dtype)
+
+
+def _unmarshal_output(slot: Slot, buf: np.ndarray) -> object:
+    """Simulator-identical output value from one filled buffer."""
+    if slot.is_array:
+        shaped = buf.reshape((slot.rows, slot.cols), order="F")
+        if slot.kind is ScalarKind.BOOL:
+            return shaped.astype(np.bool_)
+        return shaped
+    value = buf[0]
+    if slot.kind.is_complex:
+        return complex(value)
+    if slot.kind is ScalarKind.BOOL:
+        return bool(value)
+    if slot.kind.is_integer:
+        return int(value)
+    return float(value)
+
+
+class NativeProgram:
+    """Compile-once / call-hot executor for one module's entry point."""
+
+    def __init__(self, module, processor, cc: str = "gcc", cache=None):
+        if shutil.which(cc) is None:
+            raise BackendError(
+                f"native backend requires a host C compiler "
+                f"({cc!r} is not on PATH)")
+        self.plan = build_plan(module)
+        self.cc = cc
+        self.source = native_source(module, processor)
+        cache = cache if cache is not None else default_cache()
+        lib = cache.load(self.source, cc=cc)
+        self._fn = getattr(lib, WRAPPER_SYMBOL)
+        self._fn.argtypes = [ctypes.POINTER(ctypes.c_void_p),
+                             ctypes.POINTER(ctypes.c_void_p)]
+        self._fn.restype = None
+        #: Wall-clock seconds of the most recent dispatch (marshalling
+        #: + the in-process call), for benchmark reporting.
+        self.last_call_s = 0.0
+
+    def run(self, args: list[object]) -> ExecutionResult:
+        """Execute the entry point on ``args`` in-process."""
+        plan = self.plan
+        if len(args) != len(plan.params):
+            raise SimulationError(
+                f"{plan.entry}: expected {len(plan.params)} arguments, "
+                f"got {len(args)}")
+        t0 = time.perf_counter()
+        in_bufs = [_marshal_input(slot, value)
+                   for slot, value in zip(plan.params, args)]
+        out_bufs = [np.zeros(slot.numel if slot.is_array else 1,
+                             dtype=slot.dtype)
+                    for slot in plan.outputs]
+        in_ptrs = (ctypes.c_void_p * max(1, len(in_bufs)))(
+            *(buf.ctypes.data for buf in in_bufs))
+        out_ptrs = (ctypes.c_void_p * max(1, len(out_bufs)))(
+            *(buf.ctypes.data for buf in out_bufs))
+        self._fn(in_ptrs, out_ptrs)
+        outputs = [_unmarshal_output(slot, buf)
+                   for slot, buf in zip(plan.outputs, out_bufs)]
+        self.last_call_s = time.perf_counter() - t0
+        session = obs_trace.current()
+        session.counter("native.calls")
+        return ExecutionResult(outputs=outputs, report=CycleReport())

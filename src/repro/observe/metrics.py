@@ -53,6 +53,8 @@ def build_report(result=None, run=None, session=None) -> dict:
         report["counters"] = dict(session.counters)
         report["spans"] = [span.to_dict() for span in session.spans]
     report["cache"] = cache.stats()
+    from repro import native
+    report["native"] = native.stats()
     return report
 
 

@@ -52,6 +52,11 @@ class CompileJob:
     filename: str = "<string>"
     #: Per-job wall-clock deadline in seconds (None = no limit).
     timeout: "float | None" = None
+    #: Also build the native ``.so`` artifact into the shared native
+    #: cache after compiling (benchmark/service pre-warm).  Best-effort:
+    #: a missing host C compiler or a build failure is recorded in the
+    #: result's counters, never fails the job.
+    warm_native: bool = False
     #: Fault-injection hook for the concurrency test tier; honored by
     #: the worker only when the service was built with
     #: ``allow_test_hooks=True``.  One of ``"crash"`` (``os._exit``),

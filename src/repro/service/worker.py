@@ -41,8 +41,12 @@ def _on_alarm(signum, frame):
 
 def init_worker(cache_dir: "str | None", cache_size: int = 256) -> None:
     """Pool initializer: point this worker at the batch's shared disk
-    cache (one in-memory LRU per worker, reused across its jobs)."""
+    cache (one in-memory LRU per worker, reused across its jobs) and
+    at the sibling native ``.so`` store for ``warm_native`` jobs."""
     _cache.configure(maxsize=cache_size, cache_dir=cache_dir)
+    if cache_dir:
+        from repro import native
+        native.configure(cache_dir=os.path.join(cache_dir, "native"))
 
 
 def _apply_test_hook(hook: "str | None") -> None:
@@ -60,6 +64,28 @@ def _apply_test_hook(hook: "str | None") -> None:
     if hook == "exception":
         raise RuntimeError("injected worker exception (test hook)")
     raise ValueError(f"unknown test hook {hook!r}")
+
+
+def _warm_native(compiled, session) -> None:
+    """Best-effort: publish the job's native ``.so`` into the shared
+    artifact store so later ``simulate(backend="native")`` callers open
+    warm.  Never fails the job; a missing compiler or a build error is
+    surfaced through the ``native.*`` counters the parent aggregates."""
+    import shutil
+
+    from repro import native
+    from repro.native.abi import native_source
+
+    if shutil.which("gcc") is None:
+        session.counter("native.warm_skipped_no_cc")
+        return
+    try:
+        source = native_source(compiled.module, compiled.processor)
+        native.default_cache().warm(source)
+    except Exception:
+        # Build errors already counted as native.build_error by the
+        # cache; anything else is still only a warming failure.
+        session.counter("native.warm_failed")
 
 
 def run_job(job: CompileJob, allow_test_hooks: bool = False) -> JobResult:
@@ -95,6 +121,8 @@ def run_job(job: CompileJob, allow_test_hooks: bool = False) -> JobResult:
         result.entry_name = compiled.entry_name
         result.stage_times = dict(compiled.stage_times)
         result.pass_stats = dict(compiled.pass_stats)
+        if job.warm_native:
+            _warm_native(compiled, session)
     except _JobTimeout:
         result.status = "timeout"
         result.detail = (f"job exceeded its {job.timeout:.3g}s deadline "
