@@ -47,6 +47,7 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
@@ -126,6 +127,7 @@ class CompilationCache:
 
     def get(self, key: str) -> "CompilationResult | None":
         session = obs_trace.current()
+        t0 = time.perf_counter()
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
@@ -133,7 +135,9 @@ class CompilationCache:
                 self.hits += 1
         if entry is not None:
             session.counter("cache.hit")
+            session.observe("cache.mem_hit_s", time.perf_counter() - t0)
             return entry
+        t1 = time.perf_counter()
         entry = self._disk_get(key)
         if entry is not None:
             with self._lock:
@@ -141,11 +145,13 @@ class CompilationCache:
                 self.disk_hits += 1
             session.counter("cache.hit")
             session.counter("cache.disk_hit")
+            session.observe("cache.disk_hit_s", time.perf_counter() - t1)
             self._remember(key, entry)
             return entry
         with self._lock:
             self.misses += 1
         session.counter("cache.miss")
+        session.observe("cache.miss_s", time.perf_counter() - t0)
         return None
 
     def put(self, key: str, result: "CompilationResult") -> None:
@@ -180,6 +186,7 @@ class CompilationCache:
                 entry = pickle.load(stream)
             with self._lock:
                 self.disk_reads += 1
+            obs_trace.current().counter("cache.disk_read")
             return entry
         except Exception as exc:
             # A corrupt or version-skewed entry behaves as a miss, but
@@ -196,6 +203,7 @@ class CompilationCache:
         path = self._disk_path(key)
         if path is None:
             return
+        t0 = time.perf_counter()
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             # A fresh unique temp file per write: a shared pid-derived
@@ -224,8 +232,12 @@ class CompilationCache:
                     # harmless, but the duplicated compile is contention
                     # worth surfacing in batch reports.
                     self.disk_write_races += 1
+            session = obs_trace.current()
+            session.counter("cache.disk_write")
+            session.observe("cache.disk_write_s",
+                            time.perf_counter() - t0)
             if raced:
-                obs_trace.current().counter("cache.disk_write_race")
+                session.counter("cache.disk_write_race")
         except Exception as exc:
             # Disk persistence is best-effort (the in-memory entry
             # already satisfies this process) but the failure is

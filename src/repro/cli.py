@@ -18,7 +18,6 @@ Examples::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import traceback
@@ -29,7 +28,8 @@ from repro.errors import (EXIT_FAILURE, EXIT_INTERNAL, EXIT_OK,
                           ReproError)
 from repro.observe import TraceSession, trace as obs_trace
 from repro.observe.hotspots import annotate_source
-from repro.observe.metrics import build_report, write_report
+from repro.observe.metrics import (build_report, write_chrome_trace,
+                                   write_report)
 from repro.semantics.types import dtype_from_name
 
 
@@ -89,15 +89,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0,
                         help="random seed for --simulate inputs")
     parser.add_argument("--backend",
-                        choices=["compiled", "reference", "native"],
+                        choices=["compiled", "reference", "native", "all"],
                         default=None,
                         help="execution backend for --simulate: 'compiled' "
                              "(default; one-time translation, fast), "
-                             "'reference' (tree-walking interpreter), or "
+                             "'reference' (tree-walking interpreter), "
                              "'native' (emitted C built once into a "
                              "cached .so and called in-process; "
                              "host-hardware speed, no cycle accounting; "
-                             "requires a host C compiler)")
+                             "requires a host C compiler), or 'all' "
+                             "(run every tier in one invocation and "
+                             "compare wall times; native is skipped "
+                             "when no host C compiler is available)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the content-addressed compilation "
                              "cache")
@@ -125,6 +128,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics-json", metavar="FILE", default=None,
                         help="write a machine-readable JSON report of "
                              "compile/simulation metrics to FILE")
+    parser.add_argument("--metrics-prom", metavar="FILE", default=None,
+                        help="write the run's metric registry as "
+                             "Prometheus text exposition format to FILE")
+    parser.add_argument("--events-jsonl", metavar="FILE", default=None,
+                        help="write the run's structured event log (one "
+                             "JSON object per line; span_id fields join "
+                             "rows to the Chrome trace) to FILE")
     parser.add_argument("--emit-header", action="store_true",
                         help="print only the intrinsics header")
     parser.add_argument("--list-processors", action="store_true",
@@ -181,14 +191,15 @@ def _run(options, parser) -> int:
         parser.error("a MATLAB source file is required")
     if options.hotspots and not options.simulate:
         parser.error("--hotspots requires --simulate")
-    if options.backend == "native" and options.hotspots:
-        parser.error("--hotspots needs cycle accounting; the native "
-                     "backend has none (use --backend compiled or "
+    if options.backend == "all" and not options.simulate:
+        parser.error("--backend all requires --simulate")
+    if options.backend in ("native", "all") and options.hotspots:
+        parser.error("--hotspots needs cycle accounting on a single "
+                     "backend (use --backend compiled or reference)")
+    if options.backend in ("native", "all") and options.compare_baseline:
+        parser.error("--compare-baseline reports cycle speedups on a "
+                     "single backend (use --backend compiled or "
                      "reference)")
-    if options.backend == "native" and options.compare_baseline:
-        parser.error("--compare-baseline reports cycle speedups; the "
-                     "native backend has no cycle accounting (use "
-                     "--backend compiled or reference)")
 
     try:
         with open(options.source) as handle:
@@ -209,7 +220,8 @@ def _run(options, parser) -> int:
     # disabled ambient session (zero overhead beyond the compile's
     # own built-in event collection).
     observing = bool(options.trace_json or options.metrics_json
-                     or options.print_changed)
+                     or options.metrics_prom or options.events_jsonl
+                     or options.print_changed or options.profile)
     session = TraceSession() if observing else obs_trace.current()
     session.print_changed = options.print_changed
 
@@ -237,13 +249,20 @@ def _run(options, parser) -> int:
         status, run = EXIT_OK, None
         if options.simulate:
             status, run = _simulate(result, source, specs, options)
+            if options.profile:
+                _print_sim_latencies(session)
 
     if options.trace_json:
-        with open(options.trace_json, "w") as handle:
-            json.dump(session.to_chrome_trace(), handle, indent=1)
+        write_chrome_trace(options.trace_json, session.to_chrome_trace())
     if options.metrics_json:
         write_report(options.metrics_json,
                      build_report(result=result, run=run, session=session))
+    if options.metrics_prom:
+        from repro.observe.expo import write_prometheus
+        write_prometheus(options.metrics_prom, session.metrics.snapshot())
+    if options.events_jsonl:
+        from repro.observe.events import write_events_jsonl
+        write_events_jsonl(options.events_jsonl, session.events)
     if options.simulate:
         return status
 
@@ -311,6 +330,9 @@ def _simulate(result, source: str, specs, options):
         else:
             inputs.append(float(rng.standard_normal()))
 
+    if options.backend == "all":
+        return _simulate_all(result, inputs, options)
+
     t0 = time.perf_counter()
     try:
         run = result.simulate(inputs, backend=options.backend,
@@ -363,6 +385,79 @@ def _simulate(result, source: str, specs, options):
         print(f"baseline cycles: {base_run.report.total}")
         print(f"speedup: {speedup:.2f}x")
     return EXIT_OK, run
+
+
+def _simulate_all(result, inputs, options):
+    """``--backend all``: run every execution tier on the same inputs
+    and compare wall times; the cycle report comes from the compiled
+    run (the reference and native tiers agree on values, not cycles).
+
+    Returns ``(exit_status, ExecutionResult | None)`` like
+    :func:`_simulate`; the returned run is the compiled-tier one.
+    """
+    import shutil
+    import time
+
+    import numpy as np
+
+    print(f"entry: {result.entry_name} on {result.processor.name} "
+          f"(seed {options.seed}, all backends)")
+    # Cross-check tolerances mirror the fuzz oracle's table
+    # (repro.fuzz.oracle._TOLERANCE): the reference tier differs from
+    # the compiled one only by float64-vs-per-op-float32 evaluation
+    # order, while the native tier additionally runs through the host
+    # libm, whose single-precision results drift further from numpy's.
+    single = any(np.asarray(v).dtype in (np.float32, np.complex64)
+                 for v in inputs)
+    rtols = {"reference": 2e-4 if single else 1e-9,
+             "native": 2e-4 if single else 1e-7}
+    first_run = None
+    for backend in ("compiled", "reference", "native"):
+        if backend == "native" and shutil.which("gcc") is None:
+            print(f"  {backend:<10} skipped (no host C compiler)")
+            continue
+        t0 = time.perf_counter()
+        try:
+            run = result.simulate(inputs, backend=backend)
+        except (ReproError, ValueError) as exc:
+            print(f"repro-mc: error ({backend}): {exc}", file=sys.stderr)
+            return EXIT_FAILURE, first_run
+        wall = time.perf_counter() - t0
+        cycles = run.report.total if run.report is not None else "-"
+        print(f"  {backend:<10} {wall * 1e3:9.2f} ms wall   "
+              f"cycles: {cycles}")
+        if first_run is None:
+            first_run = run
+        else:
+            rtol = rtols[backend]
+            for mine, theirs in zip(first_run.outputs, run.outputs):
+                if not np.allclose(np.asarray(mine), np.asarray(theirs),
+                                   rtol=rtol, atol=rtol):
+                    print(f"repro-mc: error: {backend} outputs diverge "
+                          "from the compiled tier", file=sys.stderr)
+                    return EXIT_FAILURE, first_run
+    report = first_run.report
+    print(f"cycles (compiled): {report.total}")
+    for category in sorted(report.by_category):
+        print(f"  {category:<10} {report.by_category[category]}")
+    return EXIT_OK, first_run
+
+
+def _print_sim_latencies(session) -> None:
+    """Per-backend ``simulate()`` call latency digests (``--profile``)."""
+    digests = {name: digest
+               for name, digest in session.metrics.summaries().items()
+               if name.startswith("sim.") and name.endswith(".run_s")
+               and digest.get("count")}
+    if not digests:
+        return
+    print("simulate-call latency by backend:")
+    for name, digest in sorted(digests.items()):
+        backend = name[len("sim."):-len(".run_s")]
+        print(f"  {backend:<10} n={digest['count']} "
+              f"mean={digest['mean_s'] * 1e3:.2f} ms "
+              f"p50={digest['p50_s'] * 1e3:.2f} ms "
+              f"p99={digest['p99_s'] * 1e3:.2f} ms")
 
 
 def _write_output(text: str, path: str | None) -> None:

@@ -238,6 +238,11 @@ class CompilationResult:
                                    profile_lines=hotspots).run(args)
             span.set(cycles=result.report.total)
         session.counter("sim.runs")
+        session.counter(f"sim.runs.{backend}")
+        session.observe(f"sim.{backend}.run_s", span.duration)
+        session.event("sim.run", backend=backend, entry=self.entry_name,
+                      wall_s=round(span.duration, 6),
+                      cycles=result.report.total, span_id=span.id)
         runs = getattr(self, "_sim_runs", None)
         if runs is None:
             runs = {}
@@ -343,6 +348,8 @@ def compile_source(source: str,
 def _compile_uncached(source, args, entry, processor, options, filename,
                       session, remark_mark) -> CompilationResult:
     times: dict[str, float] = {}
+    session.event("compile.start", processor=processor.name,
+                  mode=options.mode, filename=filename)
     with session.span("compile", "compile", processor=processor.name,
                       mode=options.mode) as total_span:
         with session.span("parse", "stage") as span:
@@ -415,6 +422,11 @@ def _compile_uncached(source, args, entry, processor, options, filename,
             times["cleanup"] = span.duration
 
     times["total"] = total_span.duration
+    for stage, seconds in times.items():
+        session.observe(f"compile.stage.{stage}_s", seconds)
+    session.event("compile.done", entry=module.entry,
+                  wall_s=round(total_span.duration, 6),
+                  span_id=total_span.id)
     result = CompilationResult(module=module, sprog=sprog,
                                processor=processor, options=options,
                                source=source_file, pass_stats=stats,

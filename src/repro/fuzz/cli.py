@@ -176,6 +176,7 @@ def _run(options, parser) -> int:
     failures: list[dict] = []
     seen_buckets: set[str] = set()
     shard_counters: dict[str, int] = {}
+    shard_metrics: "dict | None" = None
 
     with obs_trace.use(session):
         if options.mode == "compile" and oracle.engines:
@@ -184,7 +185,7 @@ def _run(options, parser) -> int:
             print("engines: (none available beyond the interpreter)")
         if jobs > 1:
             from repro.fuzz.parallel import run_sharded
-            records, shard_counters, _ = run_sharded(
+            records, shard_counters, _, shard_metrics = run_sharded(
                 jobs, options.seed, options.count, options.mode,
                 engines, options.processor, options.cc,
                 options.harness)
@@ -221,6 +222,10 @@ def _run(options, parser) -> int:
     counters = dict(session.counters)
     for name, value in shard_counters.items():
         counters[name] = counters.get(name, 0) + value
+    # One registry covering serial work (this process's session) plus
+    # every worker shard — engine-latency histograms merge exactly.
+    registry = session.metrics
+    registry.merge(shard_metrics)
     programs = counters.get("fuzz.programs", 0)
     summary = {
         "seed": options.seed,
@@ -236,6 +241,10 @@ def _run(options, parser) -> int:
         "distinct_buckets": len(seen_buckets),
         "failures": failures,
         "counters": dict(sorted(counters.items())),
+        "metrics": {
+            "snapshot": registry.snapshot(),
+            "summary": registry.summaries(),
+        },
         "remarks": [f"{r.pass_name}: {r.message}"
                     for r in session.remarks],
     }
@@ -244,9 +253,10 @@ def _run(options, parser) -> int:
           f"{summary['divergences']} divergences, "
           f"{summary['crashes']} crashes")
     if options.metrics_json:
-        with open(options.metrics_json, "w") as handle:
-            json.dump(summary, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        from repro.observe.metrics import atomic_write_text
+        atomic_write_text(
+            options.metrics_json,
+            json.dumps(summary, indent=2, sort_keys=True) + "\n")
     return EXIT_FAILURE if failures else EXIT_OK
 
 

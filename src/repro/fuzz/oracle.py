@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import re
 import shutil
+import time
 import warnings
 from dataclasses import dataclass, field
 
@@ -279,6 +280,9 @@ class DifferentialOracle:
         else:
             verdict = self._run_compile_mode(program)
         session.counter(f"fuzz.{verdict.status}")
+        if verdict.interesting:
+            session.event("fuzz.verdict", status=verdict.status,
+                          engine=verdict.engine, bucket=verdict.bucket)
         return verdict
 
     def run_points(self, program: GeneratedProgram,
@@ -319,7 +323,9 @@ class DifferentialOracle:
                      inputs: "list[object]",
                      golden: "list[object] | None" = None) -> Verdict:
         """Compare every engine against the interpreter on one point."""
+        session = obs_trace.current()
         if golden is None:
+            t0 = time.perf_counter()
             try:
                 golden = MatlabInterpreter(program.source).call(
                     program.entry, list(inputs), nargout=program.nargout)
@@ -327,9 +333,12 @@ class DifferentialOracle:
                 return Verdict(status="crash", engine="interp",
                                detail=f"{type(exc).__name__}: {exc}",
                                bucket=_bucket("interp", exc))
+            session.observe("fuzz.engine.interp_s",
+                            time.perf_counter() - t0)
         dtype = _program_dtype(program)
         ran: list[str] = ["interp"]
         for engine in self.engines:
+            t0 = time.perf_counter()
             try:
                 outputs = self._run_engine(result, engine, list(inputs))
             except Exception as exc:
@@ -337,6 +346,8 @@ class DifferentialOracle:
                                detail=f"{type(exc).__name__}: {exc}",
                                bucket=_bucket(engine, exc),
                                engines_run=tuple(ran), golden=golden)
+            session.observe(f"fuzz.engine.{engine}_s",
+                            time.perf_counter() - t0)
             ran.append(engine)
             path = "gcc" if engine == "gcc" else "sim"
             rtol = _TOLERANCE[(dtype, path)]

@@ -20,6 +20,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.observe import trace as obs_trace
+from repro.observe.telemetry import MetricsRegistry
 from repro.observe.trace import TraceSession
 
 #: Shards per worker: small enough to amortize fork cost, large enough
@@ -63,16 +64,21 @@ def run_shard(base_seed: int, start: int, count: int, mode: str,
         "engines": list(oracle.engines),
         "failures": failures,
         "counters": dict(session.counters),
+        "metrics": session.metrics.snapshot(),
     }
 
 
 def run_sharded(jobs: int, base_seed: int, count: int, mode: str,
                 engines: "list[str] | None", processor: str,
                 cc: str, harness: str = "native") \
-        -> "tuple[list[dict], dict, list[str]]":
+        -> "tuple[list[dict], dict, list[str], dict]":
     """Fan the seed range out over ``jobs`` workers.
 
-    Returns ``(failures_in_seed_order, merged_counters, engines)``.
+    Returns ``(failures_in_seed_order, merged_counters, engines,
+    merged_metrics_snapshot)``.  The metrics snapshot is the
+    associative merge of every shard's registry
+    (:mod:`repro.observe.telemetry`), so engine-latency histograms
+    aggregate exactly as a serial run would have recorded them.
     """
     shard_count = max(1, min(jobs * _SHARDS_PER_WORKER, count))
     bounds = []
@@ -87,6 +93,7 @@ def run_sharded(jobs: int, base_seed: int, count: int, mode: str,
     merged_counters: dict[str, int] = {}
     failures: list[dict] = []
     shard_engines: list[str] = []
+    registry = MetricsRegistry()
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         shards = pool.map(
             run_shard,
@@ -99,5 +106,6 @@ def run_sharded(jobs: int, base_seed: int, count: int, mode: str,
             for name, value in shard["counters"].items():
                 merged_counters[name] = \
                     merged_counters.get(name, 0) + value
+            registry.merge(shard.get("metrics"))
     failures.sort(key=lambda f: f["seed"])
-    return failures, merged_counters, shard_engines
+    return failures, merged_counters, shard_engines, registry.snapshot()

@@ -58,8 +58,11 @@ class PassManager:
                 changed = False
                 for pass_ in self.passes:
                     with session.span(pass_.name, "pass",
-                                      function=func.name, round=rounds):
+                                      function=func.name,
+                                      round=rounds) as span:
                         did_change = pass_.run(func)
+                    session.observe(f"pass.{pass_.name}_s",
+                                    span.duration)
                     if did_change:
                         changed = True
                         stats[pass_.name] = stats.get(pass_.name, 0) + 1

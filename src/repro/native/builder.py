@@ -129,7 +129,7 @@ class NativeCache:
                 self.disk_hits += 1
             session.counter("native.cache_hit")
             session.counter("native.disk_hit")
-        with session.span("dlopen", "native", so=path.name):
+        with session.span("dlopen", "native", so=path.name) as span:
             try:
                 lib = ctypes.CDLL(str(path))
             except OSError as exc:
@@ -146,6 +146,7 @@ class NativeCache:
                     raise BackendError(
                         f"cannot dlopen native artifact {path}: "
                         f"{exc}") from exc
+        session.observe("native.dlopen_s", span.duration)
         with self._lock:
             self._loaded[key] = lib
         return lib
@@ -201,6 +202,9 @@ class NativeCache:
                 self.builds += 1
             session.counter("native.build")
             span.set(so=path.name)
+        session.observe("native.build_s", span.duration)
+        session.event("native.build", so=path.name, cc=cc,
+                      wall_s=round(span.duration, 6), span_id=span.id)
         self._evict()
 
     def _evict(self) -> None:

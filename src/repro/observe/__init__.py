@@ -11,8 +11,18 @@ One coherent event model threads through the whole Figure-1 pipeline:
   passes, and the pass manager.
 * :mod:`repro.observe.hotspots` — per-source-line cycle attribution
   rendered as an annotated-source table.
+* :mod:`repro.observe.telemetry` — the process-wide
+  :class:`MetricsRegistry`: counters, gauges, and fixed-bucket latency
+  histograms with an exactly-associative ``merge``, so worker-process
+  snapshots aggregate losslessly in the parent.
+* :mod:`repro.observe.expo` — Prometheus text exposition of a registry
+  snapshot (the CLI ``--metrics-prom`` switches).
+* :mod:`repro.observe.events` — structured JSONL event log whose rows
+  carry span ids correlating with the Chrome trace
+  (``--events-jsonl``).
 * :mod:`repro.observe.metrics` — one machine-readable JSON report
-  (spans + remarks + counters + hotspots) per compile/simulate.
+  (spans + remarks + counters + metrics + hotspots) per
+  compile/simulate, schema ``repro-observe-report-v2``.
 
 The session in effect is ambient: instrumented code calls
 :func:`current` and emits into whatever session the caller installed
@@ -22,9 +32,11 @@ check, so observability is zero-cost when off.
 """
 
 from repro.observe.remarks import Remark
+from repro.observe.telemetry import MetricsRegistry
 from repro.observe.trace import Span, TraceSession, current, use
 
 __all__ = [
+    "MetricsRegistry",
     "Remark",
     "Span",
     "TraceSession",

@@ -1,0 +1,40 @@
+"""Structured JSONL event log.
+
+Where spans are *intervals* and registry metrics are *aggregates*,
+events are the discrete things that happened, in order: a compile
+started, a cache layer answered, a service job was submitted, retried,
+or crashed, a fuzz verdict landed.  Each event is one JSON object per
+line (JSONL — greppable, tail-able, trivially ingested), carrying:
+
+* ``ts_s`` — seconds since the session origin (the same clock the
+  Chrome trace uses, so timestamps line up);
+* ``kind`` — dotted event name (``job.done``, ``compile.start``);
+* ``span_id`` — the id of the innermost open span when the event was
+  emitted (0 = no open span).  Span ids also appear on the Chrome
+  trace events' ``args``, so an event can be joined to the exact trace
+  interval it happened inside;
+* free-form payload fields.
+
+Events are collected in-memory on the :class:`TraceSession`
+(``session.event(kind, **fields)``) and published atomically by
+:func:`write_events_jsonl` — a crashed run never leaves a truncated
+log.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def format_events(events: "list[dict]") -> str:
+    """Events as JSONL text (one compact JSON object per line)."""
+    return "".join(
+        json.dumps(event, sort_keys=True, default=str) + "\n"
+        for event in events)
+
+
+def write_events_jsonl(path: str, events: "list[dict]") -> None:
+    """Atomically publish one event stream as a JSONL file."""
+    from repro.observe.metrics import atomic_write_text
+
+    atomic_write_text(path, format_events(events))

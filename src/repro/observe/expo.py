@@ -1,0 +1,81 @@
+"""Prometheus text exposition of a metrics-registry snapshot.
+
+:func:`to_prometheus` renders one :meth:`MetricsRegistry.snapshot`
+dict in the Prometheus text exposition format (version 0.0.4):
+counters as ``<name>_total``, gauges as-is, histograms as cumulative
+``_bucket{le="..."}`` series plus ``_sum``/``_count`` — exactly the
+shape a ``/metrics`` endpoint (the ROADMAP's ``repro-serve`` daemon)
+will serve, and what the ``--metrics-prom FILE`` CLI switches write
+today.
+
+Metric names are sanitized to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``): dots become underscores, and the
+registry's ``_s`` seconds-suffix convention is rewritten to the
+canonical ``_seconds`` unit suffix.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.observe.telemetry import BOUNDS
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Prefix applied to every exposed metric.
+PREFIX = "repro"
+
+
+def metric_name(name: str) -> str:
+    """Registry metric name -> valid Prometheus metric name."""
+    if name.endswith("_s"):
+        name = name[:-2] + "_seconds"
+    name = _NAME_RE.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return f"{PREFIX}_{name}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """One snapshot as Prometheus text exposition format."""
+    lines: list[str] = []
+
+    for name in sorted(snapshot.get("counters", {})):
+        exposed = metric_name(name) + "_total"
+        lines.append(f"# TYPE {exposed} counter")
+        lines.append(f"{exposed} {snapshot['counters'][name]}")
+
+    for name in sorted(snapshot.get("gauges", {})):
+        exposed = metric_name(name)
+        lines.append(f"# TYPE {exposed} gauge")
+        lines.append(
+            f"{exposed} {_format_value(snapshot['gauges'][name])}")
+
+    for name in sorted(snapshot.get("histograms", {})):
+        serialized = snapshot["histograms"][name]
+        exposed = metric_name(name)
+        lines.append(f"# TYPE {exposed} histogram")
+        cumulative = 0
+        for bound, count in zip(BOUNDS, serialized["counts"]):
+            cumulative += count
+            lines.append(f'{exposed}_bucket{{le="{bound / 1e9:.9g}"}} '
+                         f"{cumulative}")
+        lines.append(f'{exposed}_bucket{{le="+Inf"}} '
+                     f"{serialized['count']}")
+        lines.append(f"{exposed}_sum {serialized['sum_ns'] / 1e9:.9g}")
+        lines.append(f"{exposed}_count {serialized['count']}")
+
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(path: str, snapshot: dict) -> None:
+    """Atomically publish one snapshot as Prometheus text."""
+    from repro.observe.metrics import atomic_write_text
+
+    atomic_write_text(path, to_prometheus(snapshot))

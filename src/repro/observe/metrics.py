@@ -2,17 +2,84 @@
 
 :func:`build_report` assembles everything the observability layer knows
 about one compile (and optionally one simulation) into a single
-JSON-serializable dict: stage timings, pass statistics, cache
-statistics, counters, spans, optimization remarks, and — when the run
-was profiled — the per-line hotspot attribution.  The CLI writes it via
-``--metrics-json FILE``.
+JSON-serializable dict.  Schema ``repro-observe-report-v2``: every v1
+field is preserved under its old key (``compile``, ``simulation``,
+``counters``, ``spans``, ``cache``, ``native``), with two changes of
+meaning and two additions:
+
+* ``cache`` / ``native`` are now scoped to **this run** (derived from
+  the session's counter deltas), so two runs in one process no longer
+  bleed statistics into each other's reports;
+* ``process`` carries the old process-wide ``cache.stats()`` /
+  ``native.stats()`` totals;
+* ``metrics`` carries the session's :class:`MetricsRegistry` snapshot
+  plus per-histogram p50/p90/p99 summaries;
+* ``events`` counts the session's structured events (the full stream
+  goes to ``--events-jsonl``).
+
+All report/trace writers publish atomically (``mkstemp`` +
+``os.replace``, the same discipline as the disk cache), so a crashed
+run never leaves a truncated JSON document behind.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 
-SCHEMA = "repro-observe-report-v1"
+SCHEMA = "repro-observe-report-v2"
+
+#: Cache-stats field -> session counter that accumulates it, used to
+#: scope the report's ``cache`` section to one run's deltas.
+_CACHE_COUNTERS = {
+    "hits": "cache.hit",
+    "misses": "cache.miss",
+    "disk_hits": "cache.disk_hit",
+    "evictions": "cache.evict",
+    "disk_reads": "cache.disk_read",
+    "disk_writes": "cache.disk_write",
+    "disk_write_races": "cache.disk_write_race",
+    "disk_read_errors": "cache.disk_read_error",
+    "disk_write_errors": "cache.disk_write_error",
+}
+
+#: Same mapping for the native artifact cache.
+_NATIVE_COUNTERS = {
+    "builds": "native.build",
+    "cache_hits": "native.cache_hit",
+    "disk_hits": "native.disk_hit",
+    "build_errors": "native.build_error",
+    "evictions": "native.evict",
+}
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` via ``mkstemp`` + atomic
+    ``os.replace``: a reader (or a crash) never observes a partially
+    written file.  The temp file lives in the destination directory so
+    the final rename cannot cross a filesystem boundary."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{os.path.basename(path)[:24]}.tmp.", dir=directory)
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def scoped_stats(counters: "dict[str, int]",
+                 mapping: "dict[str, str]") -> "dict[str, int]":
+    """Stats-shaped dict rebuilt from one session's counter deltas."""
+    return {field: counters.get(counter, 0)
+            for field, counter in mapping.items()}
 
 
 def build_report(result=None, run=None, session=None) -> dict:
@@ -22,9 +89,9 @@ def build_report(result=None, run=None, session=None) -> dict:
         result: a :class:`repro.compiler.CompilationResult` (optional).
         run: a :class:`repro.sim.machine.ExecutionResult` (optional).
         session: a :class:`repro.observe.trace.TraceSession` whose
-            spans/counters to include (optional).
+            spans/counters/metrics to include (optional).
     """
-    from repro import cache
+    from repro import cache, native
 
     report: dict = {"schema": SCHEMA}
     if result is not None:
@@ -52,14 +119,32 @@ def build_report(result=None, run=None, session=None) -> dict:
     if session is not None:
         report["counters"] = dict(session.counters)
         report["spans"] = [span.to_dict() for span in session.spans]
-    report["cache"] = cache.stats()
-    from repro import native
-    report["native"] = native.stats()
+        report["metrics"] = {
+            "snapshot": session.metrics.snapshot(),
+            "summary": session.metrics.summaries(),
+        }
+        report["events"] = len(session.events)
+
+    # Cache/native sections are scoped to this run: counter deltas from
+    # the run's own session (falling back to the compile's private
+    # session), never the process-wide totals — those live under
+    # "process" so concurrent or sequential runs cannot bleed counts
+    # into each other's reports.
+    scope = session if session is not None else \
+        (result.trace if result is not None else None)
+    counters = dict(scope.counters) if scope is not None else {}
+    report["cache"] = scoped_stats(counters, _CACHE_COUNTERS)
+    report["native"] = scoped_stats(counters, _NATIVE_COUNTERS)
+    report["process"] = {"cache": cache.stats(), "native": native.stats()}
     return report
 
 
 def write_report(path: str, report: dict) -> None:
-    """Serialize one report to ``path`` as indented JSON."""
-    with open(path, "w") as handle:
-        json.dump(report, handle, indent=2, sort_keys=False)
-        handle.write("\n")
+    """Serialize one report to ``path`` as indented JSON, atomically."""
+    atomic_write_text(
+        path, json.dumps(report, indent=2, sort_keys=False) + "\n")
+
+
+def write_chrome_trace(path: str, trace: dict) -> None:
+    """Serialize one Chrome trace-event document atomically."""
+    atomic_write_text(path, json.dumps(trace, indent=1))

@@ -1,0 +1,292 @@
+"""``repro-stats`` — aggregate, diff, and gate metric report files.
+
+Works over the JSON documents the other CLIs emit: ``repro-mc
+--metrics-json`` observe reports, ``repro-batch --metrics-json`` batch
+reports, ``repro-fuzz --metrics-json`` summaries, and the committed
+benchmark trajectories under ``benchmarks/results/BENCH_*.json``.
+
+Examples::
+
+    # Human-readable digest of any report file
+    repro-stats show run.json
+
+    # Field-by-field comparison of two runs
+    repro-stats diff benchmarks/results/BENCH_e1.json fresh.json
+
+    # Perf-regression gate (CI): fail when any *_wall_s field of the
+    # fresh run exceeds the committed trajectory by more than the
+    # noise tolerance
+    repro-stats check fresh.json --against benchmarks/results/BENCH_e1.json \\
+        --tolerance 1.0
+
+The ``check`` gate compares every ``*_wall_s`` field, per kernel and
+in the aggregate block.  A fresh value passes when::
+
+    fresh <= base * (1 + tolerance) + abs_floor
+
+``tolerance`` is relative headroom for machine noise (CI runners are
+slow and noisy — be generous); ``abs_floor`` keeps sub-millisecond
+measurements from failing on scheduler jitter alone.  Improvements
+never fail, and a kernel present in the baseline but missing from the
+fresh run is a failure (silent coverage loss must not read as a pass).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import traceback
+
+from repro.errors import EXIT_FAILURE, EXIT_INTERNAL, EXIT_OK
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-stats",
+        description="Aggregate, diff, and gate repro metric report "
+                    "files (observe/batch/fuzz reports and benchmark "
+                    "trajectories)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    show_p = sub.add_parser(
+        "show", help="pretty-print one or more report files")
+    show_p.add_argument("files", nargs="+", metavar="FILE")
+
+    diff_p = sub.add_parser(
+        "diff", help="field-by-field comparison of two report files")
+    diff_p.add_argument("base", metavar="BASE")
+    diff_p.add_argument("fresh", metavar="FRESH")
+
+    check_p = sub.add_parser(
+        "check", help="perf-regression gate: fail when FRESH is slower "
+                      "than BASE beyond the noise tolerance")
+    check_p.add_argument("fresh", metavar="FRESH",
+                         help="freshly measured report")
+    check_p.add_argument("--against", required=True, metavar="BASE",
+                         help="committed baseline trajectory to gate "
+                              "against")
+    check_p.add_argument("--tolerance", type=float, default=0.5,
+                         help="relative slowdown allowed per field "
+                              "(0.5 = 50%% headroom; default 0.5)")
+    check_p.add_argument("--abs-floor", type=float, default=0.005,
+                         metavar="SECONDS",
+                         help="absolute slack added on top of the "
+                              "relative tolerance, so sub-millisecond "
+                              "fields don't fail on scheduler jitter "
+                              "(default 0.005)")
+    return parser
+
+
+def _load(path: str) -> dict:
+    with open(path) as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: expected a JSON object report")
+    return document
+
+
+# -- document shapes ----------------------------------------------------
+
+def _kernel_rows(document: dict) -> "dict[str, dict]":
+    """``kernel name -> numeric fields`` for benchmark trajectories."""
+    rows = {}
+    for row in document.get("kernels", []):
+        name = row.get("kernel")
+        if name:
+            rows[name] = {k: v for k, v in row.items()
+                          if isinstance(v, (int, float))}
+    return rows
+
+
+def _aggregate_row(document: dict) -> dict:
+    block = document.get("aggregate", {})
+    return {k: v for k, v in block.items()
+            if isinstance(v, (int, float))}
+
+
+def _histogram_summaries(document: dict) -> "dict[str, dict]":
+    """The per-histogram digests of any report carrying a metrics
+    block (observe v2 / batch v2 / fuzz summaries)."""
+    metrics = document.get("metrics", {})
+    if isinstance(metrics, dict):
+        summary = metrics.get("summary")
+        if isinstance(summary, dict):
+            return summary
+    session = document.get("session", {})
+    if isinstance(session, dict):
+        metrics = session.get("metrics", {})
+        if isinstance(metrics, dict):
+            summary = metrics.get("summary")
+            if isinstance(summary, dict):
+                return summary
+    return {}
+
+
+def _counters(document: dict) -> "dict[str, int]":
+    for scope in (document, document.get("session", {})):
+        counters = scope.get("counters") if isinstance(scope, dict) \
+            else None
+        if isinstance(counters, dict) and counters:
+            return counters
+    return {}
+
+
+# -- show ---------------------------------------------------------------
+
+def _show(path: str) -> None:
+    document = _load(path)
+    label = document.get("schema") or document.get("experiment") \
+        or "report"
+    print(f"{path} ({label})")
+    kernels = _kernel_rows(document)
+    if kernels:
+        fields = sorted({f for row in kernels.values() for f in row})
+        header = "  {:<10}".format("kernel") + "".join(
+            f" {f:>24}" for f in fields)
+        print(header)
+        for name in sorted(kernels):
+            row = kernels[name]
+            print("  {:<10}".format(name) + "".join(
+                f" {row.get(f, ''):>24}" for f in fields))
+        aggregate = _aggregate_row(document)
+        if aggregate:
+            print("  aggregate: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(aggregate.items())))
+    counters = _counters(document)
+    if counters:
+        print("  counters:")
+        for name in sorted(counters):
+            print(f"    {name:<32} {counters[name]}")
+    summaries = _histogram_summaries(document)
+    if summaries:
+        print("  latency histograms:")
+        for name in sorted(summaries):
+            digest = summaries[name]
+            if not digest.get("count"):
+                continue
+            print(f"    {name:<28} n={digest['count']:<6} "
+                  f"mean={digest['mean_s'] * 1e3:9.3f} ms  "
+                  f"p50={digest['p50_s'] * 1e3:9.3f} ms  "
+                  f"p99={digest['p99_s'] * 1e3:9.3f} ms")
+    if not (kernels or counters or summaries):
+        print("  (no kernels, counters, or histograms recognized)")
+
+
+# -- diff ---------------------------------------------------------------
+
+def _diff_rows(label: str, base: dict, fresh: dict) -> None:
+    names = sorted(set(base) | set(fresh))
+    for name in names:
+        old, new = base.get(name), fresh.get(name)
+        if old is None:
+            print(f"  {label}.{name}: (new) {new}")
+        elif new is None:
+            print(f"  {label}.{name}: {old} (dropped)")
+        elif old == new:
+            continue
+        else:
+            change = f" ({(new - old) / old:+.1%})" if old else ""
+            print(f"  {label}.{name}: {old} -> {new}{change}")
+
+
+def _diff(base_path: str, fresh_path: str) -> int:
+    base, fresh = _load(base_path), _load(fresh_path)
+    print(f"diff {base_path} -> {fresh_path}")
+    base_kernels, fresh_kernels = _kernel_rows(base), _kernel_rows(fresh)
+    for name in sorted(set(base_kernels) | set(fresh_kernels)):
+        _diff_rows(name, base_kernels.get(name, {}),
+                   fresh_kernels.get(name, {}))
+    _diff_rows("aggregate", _aggregate_row(base), _aggregate_row(fresh))
+    _diff_rows("counters", _counters(base), _counters(fresh))
+    return EXIT_OK
+
+
+# -- check --------------------------------------------------------------
+
+def _wall_fields(row: dict) -> "dict[str, float]":
+    return {name: value for name, value in row.items()
+            if name.endswith("_wall_s")}
+
+
+def _check_row(label: str, base: dict, fresh: "dict | None",
+               tolerance: float, abs_floor: float,
+               failures: "list[str]") -> None:
+    walls = _wall_fields(base)
+    if fresh is None:
+        if walls:
+            failures.append(f"{label}: present in baseline but missing "
+                            "from the fresh run")
+        return
+    for name, baseline in walls.items():
+        measured = fresh.get(name)
+        if measured is None:
+            failures.append(f"{label}.{name}: field missing from the "
+                            "fresh run")
+            continue
+        limit = baseline * (1.0 + tolerance) + abs_floor
+        if measured > limit:
+            failures.append(
+                f"{label}.{name}: {measured:.6f}s exceeds "
+                f"{baseline:.6f}s baseline + {tolerance:.0%} tolerance "
+                f"(limit {limit:.6f}s)")
+
+
+def _check(options) -> int:
+    base = _load(options.against)
+    fresh = _load(options.fresh)
+    failures: list[str] = []
+    base_kernels = _kernel_rows(base)
+    fresh_kernels = _kernel_rows(fresh)
+    checked = 0
+    for name, row in sorted(base_kernels.items()):
+        _check_row(name, row, fresh_kernels.get(name),
+                   options.tolerance, options.abs_floor, failures)
+        checked += len(_wall_fields(row))
+    _check_row("aggregate", _aggregate_row(base),
+               _aggregate_row(fresh), options.tolerance,
+               options.abs_floor, failures)
+    checked += len(_wall_fields(_aggregate_row(base)))
+    if checked == 0:
+        print(f"repro-stats: check: no *_wall_s fields found in "
+              f"{options.against}; nothing was gated", file=sys.stderr)
+        return EXIT_FAILURE
+    if failures:
+        print(f"FAIL {options.fresh} vs {options.against} "
+              f"({len(failures)} regression(s) over {checked} fields):")
+        for line in failures:
+            print(f"  {line}")
+        return EXIT_FAILURE
+    print(f"OK {options.fresh} vs {options.against}: {checked} wall "
+          f"fields within {options.tolerance:.0%} + "
+          f"{options.abs_floor}s of baseline")
+    return EXIT_OK
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    try:
+        if options.command == "show":
+            for path in options.files:
+                _show(path)
+            return EXIT_OK
+        if options.command == "diff":
+            return _diff(options.base, options.fresh)
+        if options.command == "check":
+            return _check(options)
+        parser.error(f"unknown command {options.command!r}")
+    except SystemExit:
+        raise
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"repro-stats: error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    except Exception:
+        print("repro-stats: internal error:", file=sys.stderr)
+        traceback.print_exc()
+        return EXIT_INTERNAL
+    return EXIT_OK
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

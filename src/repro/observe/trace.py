@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.observe.remarks import Remark
+from repro.observe.telemetry import MetricsRegistry
 
 
 @dataclass
@@ -38,13 +39,17 @@ class Span:
     """One timed interval.  Also its own context manager: entering
     starts the clock and registers the span with its session; exiting
     fixes ``duration``.  ``start``/``duration`` are seconds relative to
-    the session origin."""
+    the session origin.  ``id`` is session-unique and shared with the
+    Chrome trace export and the JSONL event log, so events can be
+    joined to the span they happened inside."""
 
     name: str
     category: str = "compile"
     start: float = 0.0
     duration: float = 0.0
     depth: int = 0
+    id: int = 0
+    parent: int = 0
     args: dict = field(default_factory=dict)
     session: "TraceSession | None" = field(default=None, repr=False)
 
@@ -56,6 +61,10 @@ class Span:
     def __enter__(self) -> "Span":
         session = self.session
         self.depth = len(session._stack)
+        self.id = session._next_span_id
+        session._next_span_id += 1
+        if session._stack:
+            self.parent = session._stack[-1].id
         session._stack.append(self)
         session.spans.append(self)
         self.start = session._clock() - session._origin
@@ -74,6 +83,8 @@ class Span:
             "start_s": self.start,
             "duration_s": self.duration,
             "depth": self.depth,
+            "id": self.id,
+            "parent": self.parent,
             "args": dict(self.args),
         }
 
@@ -85,6 +96,8 @@ class _NullSpan:
     __slots__ = ()
     duration = 0.0
     depth = 0
+    id = 0
+    parent = 0
 
     def set(self, **args) -> "_NullSpan":
         return self
@@ -108,12 +121,19 @@ class TraceSession:
         self.spans: list[Span] = []
         self.counters: dict[str, int] = {}
         self.remarks: list[Remark] = []
+        #: Aggregated metrics (counters mirror + gauges + latency
+        #: histograms); the substrate behind ``--metrics-prom`` and the
+        #: service's cross-process aggregation.
+        self.metrics = MetricsRegistry(enabled=enabled)
+        #: Structured event stream (``event()``), exported as JSONL.
+        self.events: list[dict] = []
         #: When True, PassManager prints the IR of a function to stderr
         #: after every pass that changed it (CLI ``--print-changed``).
         self.print_changed = False
         self._clock = clock
         self._origin = clock()
         self._stack: list[Span] = []
+        self._next_span_id = 1
 
     def span(self, name: str, category: str = "compile", **args):
         """A context manager timing one interval; yields the Span so
@@ -126,6 +146,23 @@ class TraceSession:
     def counter(self, name: str, delta: int = 1) -> None:
         if self.enabled:
             self.counters[name] = self.counters.get(name, 0) + delta
+            self.metrics.counter(name, delta)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one latency sample into the session's registry."""
+        if self.enabled:
+            self.metrics.observe(name, seconds)
+
+    def event(self, kind: str, **fields) -> None:
+        """Append one structured event, stamped with the session clock
+        and the innermost open span's id (see
+        :mod:`repro.observe.events`)."""
+        if self.enabled:
+            record = {"ts_s": round(self.elapsed(), 6), "kind": kind,
+                      "span_id": self._stack[-1].id if self._stack
+                      else 0}
+            record.update(fields)
+            self.events.append(record)
 
     def remark(self, remark: Remark) -> None:
         if self.enabled:
@@ -151,7 +188,8 @@ class TraceSession:
                 "dur": round(span.duration * 1e6, 3),
                 "pid": 1,
                 "tid": 1,
-                "args": dict(span.args),
+                # span_id joins trace intervals to --events-jsonl rows.
+                "args": dict(span.args, span_id=span.id),
             })
         end_us = round(self.elapsed() * 1e6, 3)
         for name in sorted(self.counters):

@@ -87,6 +87,12 @@ def build_parser() -> argparse.ArgumentParser:
     compile_p.add_argument("--trace-json", metavar="FILE", default=None,
                            help="write a merged Chrome trace (one "
                                 "swimlane per worker) to FILE")
+    compile_p.add_argument("--metrics-prom", metavar="FILE", default=None,
+                           help="write the merged batch metrics as "
+                                "Prometheus text exposition to FILE")
+    compile_p.add_argument("--events-jsonl", metavar="FILE", default=None,
+                           help="write the merged structured event log "
+                                "(one JSON object per line) to FILE")
     compile_p.add_argument("--quiet", action="store_true",
                            help="only print the batch summary line")
     return parser
@@ -190,6 +196,10 @@ def _cmd_compile(options, parser) -> int:
         batch.write_report(options.metrics_json)
     if options.trace_json:
         batch.write_chrome_trace(options.trace_json)
+    if options.metrics_prom:
+        batch.write_prometheus(options.metrics_prom)
+    if options.events_jsonl:
+        batch.write_events(options.events_jsonl)
 
     counts = batch.by_status()
     summary = ", ".join(f"{counts[s]} {s}" for s in sorted(counts))

@@ -52,6 +52,10 @@ class CompileJob:
     filename: str = "<string>"
     #: Per-job wall-clock deadline in seconds (None = no limit).
     timeout: "float | None" = None
+    #: ``time.time()`` in the parent when the job was handed to the
+    #: pool (set by the service at submission); the worker derives the
+    #: queue-wait latency histogram from it.
+    submitted_at: "float | None" = None
     #: Also build the native ``.so`` artifact into the shared native
     #: cache after compiling (benchmark/service pre-warm).  Best-effort:
     #: a missing host C compiler or a build failure is recorded in the
@@ -82,6 +86,9 @@ class JobResult:
     worker_pid: int = 0
     #: Wall-clock seconds the final attempt spent in the worker.
     wall_s: float = 0.0
+    #: Seconds the job sat in the pool queue before its final attempt
+    #: started (0.0 when the parent recorded no submission time).
+    queue_wait_s: float = 0.0
     #: ``time.time()`` in the worker when the attempt started; the
     #: parent uses it to re-base worker spans onto its own timeline.
     wall_origin: float = 0.0
@@ -96,6 +103,14 @@ class JobResult:
     #: Per-job *delta* of the worker's cache statistics, so summing
     #: across results gives batch-wide totals that add up.
     cache: dict = field(default_factory=dict)
+    #: ``MetricsRegistry.snapshot()`` of the worker session while this
+    #: job ran (queue-wait/execution histograms, per-layer cache
+    #: latencies...); :class:`~repro.service.report.BatchResult` merges
+    #: them associatively into one batch-wide registry.
+    metrics: dict = field(default_factory=dict)
+    #: Structured events from the worker session (JSONL rows after the
+    #: parent re-bases and tags them).
+    events: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -111,6 +126,7 @@ class JobResult:
             "attempts": self.attempts,
             "worker_pid": self.worker_pid,
             "wall_s": round(self.wall_s, 6),
+            "queue_wait_s": round(self.queue_wait_s, 6),
             "stage_times_s": dict(self.stage_times),
             "pass_stats": dict(self.pass_stats),
             "remarks": list(self.remarks),

@@ -169,9 +169,14 @@ class CompileService:
                 wave = runnable[:1]
             rest = runnable[len(wave):]
             pool = self._ensure_pool()
-            outstanding = {
-                pool.submit(run_job, state.job, self.allow_test_hooks):
-                state for state in wave}
+            outstanding = {}
+            for state in wave:
+                # Stamped per submission (retries included) so the
+                # worker's queue-wait histogram measures this attempt's
+                # time in the pool queue, not time since first enqueue.
+                state.job.submitted_at = time.time()
+                outstanding[pool.submit(
+                    run_job, state.job, self.allow_test_hooks)] = state
             for state in wave:
                 state.attempts += 1
             runnable = rest

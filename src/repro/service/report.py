@@ -14,7 +14,15 @@ into a single picture:
 * **trace spans** are re-based from each worker's private clock onto
   the parent timeline using the wall-clock origin the worker recorded
   at job start, and exported as one Chrome trace with one ``tid`` per
-  worker process — a batch renders as parallel swimlanes in Perfetto.
+  worker process — a batch renders as parallel swimlanes in Perfetto;
+* **metric registries** (queue-wait/execution histograms, per-layer
+  cache latencies, per-pass times) ship as
+  :meth:`~repro.observe.telemetry.MetricsRegistry.snapshot` dicts in
+  each result and merge associatively — the merged registry is
+  bit-identical whether the batch ran on one worker or sixteen;
+* **events** are re-based like spans, tagged with their job id, and
+  exported as a JSONL stream whose ``span_id`` values join rows to the
+  Chrome trace.
 """
 
 from __future__ import annotations
@@ -22,9 +30,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
+from repro.observe.telemetry import MetricsRegistry
 from repro.service.jobs import JobResult
 
-BATCH_SCHEMA = "repro-batch-report-v1"
+BATCH_SCHEMA = "repro-batch-report-v2"
 
 
 @dataclass
@@ -83,10 +92,50 @@ class BatchResult:
                 out.append(tagged)
         return out
 
+    def metrics_registry(self) -> MetricsRegistry:
+        """All workers' registry snapshots merged into one, plus the
+        batch-level counters (job statuses, attempts, rebuilds).
+
+        Merge is associative and order-independent, so the metric set —
+        and every histogram's counts — is identical whether the batch
+        ran under ``--jobs 1`` or ``--jobs 16``.
+        """
+        registry = MetricsRegistry()
+        for result in self.results:
+            if result.metrics:
+                registry.merge(result.metrics)
+        # Only the batch-level counters are added here: every per-job
+        # counter already arrived inside its worker snapshot (adding
+        # self.counters() wholesale would double-count them).
+        for status, count in self.by_status().items():
+            registry.counter(f"batch.jobs_{status}", count)
+        registry.counter("batch.attempts",
+                         sum(r.attempts for r in self.results))
+        if self.rebuilds:
+            registry.counter("batch.rebuilds", self.rebuilds)
+        registry.gauge("batch.workers", self.workers)
+        return registry
+
+    def events(self) -> "list[dict]":
+        """All workers' events on the parent timeline, tagged with
+        their job id, in timestamp order."""
+        out: list[dict] = []
+        for result in self.results:
+            offset_s = max(result.wall_origin - self.wall_origin, 0.0)
+            for event in result.events:
+                rebased = dict(event)
+                rebased["ts_s"] = round(
+                    offset_s + event.get("ts_s", 0.0), 6)
+                rebased["job_id"] = result.job_id
+                out.append(rebased)
+        out.sort(key=lambda e: e.get("ts_s", 0.0))
+        return out
+
     # -- exports --------------------------------------------------------
 
     def to_report(self) -> dict:
         """One JSON-serializable document for ``--metrics-json``."""
+        registry = self.metrics_registry()
         return {
             "schema": BATCH_SCHEMA,
             "workers": self.workers,
@@ -96,12 +145,26 @@ class BatchResult:
             "by_status": self.by_status(),
             "counters": self.counters(),
             "cache": self.cache_stats(),
+            "metrics": {
+                "snapshot": registry.snapshot(),
+                "summary": registry.summaries(),
+            },
         }
 
     def write_report(self, path: str) -> None:
-        with open(path, "w") as handle:
-            json.dump(self.to_report(), handle, indent=2)
-            handle.write("\n")
+        from repro.observe.metrics import atomic_write_text
+        atomic_write_text(
+            path, json.dumps(self.to_report(), indent=2) + "\n")
+
+    def write_prometheus(self, path: str) -> None:
+        """Prometheus text exposition of the merged batch registry."""
+        from repro.observe.expo import write_prometheus
+        write_prometheus(path, self.metrics_registry().snapshot())
+
+    def write_events(self, path: str) -> None:
+        """JSONL event stream (one object per line, parent timeline)."""
+        from repro.observe.events import write_events_jsonl
+        write_events_jsonl(path, self.events())
 
     def to_chrome_trace(self) -> dict:
         """All workers' spans on the parent timeline, one tid per
@@ -129,7 +192,8 @@ class BatchResult:
                     "dur": round(span["duration_s"] * 1e6, 3),
                     "pid": 1,
                     "tid": tid,
-                    "args": dict(span["args"], job_id=result.job_id),
+                    "args": dict(span["args"], job_id=result.job_id,
+                                 span_id=span.get("id", 0)),
                 })
         end_us = round(self.wall_s * 1e6, 3)
         for name, value in sorted(self.counters().items()):
@@ -141,5 +205,6 @@ class BatchResult:
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
     def write_chrome_trace(self, path: str) -> None:
-        with open(path, "w") as handle:
-            json.dump(self.to_chrome_trace(), handle, indent=1)
+        from repro.observe.metrics import atomic_write_text
+        atomic_write_text(
+            path, json.dumps(self.to_chrome_trace(), indent=1) + "\n")

@@ -101,6 +101,15 @@ def run_job(job: CompileJob, allow_test_hooks: bool = False) -> JobResult:
 
     result = JobResult(job_id=job.job_id, status="ok",
                        worker_pid=os.getpid(), wall_origin=wall_origin)
+    if job.submitted_at is not None:
+        # Queue wait is a cross-process wall-clock difference; clock
+        # skew between parent and worker on one host is far below the
+        # histogram bucket width, and negatives clamp to zero.
+        result.queue_wait_s = max(0.0, wall_origin - job.submitted_at)
+        session.observe("service.queue_wait_s", result.queue_wait_s)
+    session.event("job.start", job_id=job.job_id,
+                  worker_pid=result.worker_pid,
+                  queue_wait_s=round(result.queue_wait_s, 6))
     alarm_set = False
     old_handler = None
     try:
@@ -141,9 +150,15 @@ def run_job(job: CompileJob, allow_test_hooks: bool = False) -> JobResult:
             signal.signal(signal.SIGALRM, old_handler)
 
     result.wall_s = time.perf_counter() - t0
+    session.observe("service.exec_s", result.wall_s)
+    session.counter(f"service.job_{result.status}")
+    session.event("job.done", job_id=job.job_id, status=result.status,
+                  wall_s=round(result.wall_s, 6))
     result.remarks = [remark.to_dict() for remark in session.remarks]
     result.spans = [span.to_dict() for span in session.spans]
     result.counters = dict(session.counters)
+    result.metrics = session.metrics.snapshot()
+    result.events = list(session.events)
     cache_after = _cache.stats()
     result.cache = {name: cache_after.get(name, 0) - before
                     for name, before in cache_before.items()

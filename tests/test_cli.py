@@ -269,7 +269,7 @@ def test_metrics_json_report(loop_file, tmp_path, capsys):
                  "--metrics-json", str(metrics_file)])
     assert code == 0
     report = json.loads(metrics_file.read_text())
-    assert report["schema"] == "repro-observe-report-v1"
+    assert report["schema"] == "repro-observe-report-v2"
     assert report["compile"]["entry"] == "g_double_1x32"
     assert report["simulation"]["cycles"] > 0
     assert report["simulation"]["hotspots"]

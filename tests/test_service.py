@@ -138,7 +138,7 @@ def test_batch_report_document(tmp_path):
     path = tmp_path / "batch.json"
     batch.write_report(str(path))
     report = json.loads(path.read_text())
-    assert report["schema"] == "repro-batch-report-v1"
+    assert report["schema"] == "repro-batch-report-v2"
     assert report["by_status"] == {"ok": 2}
     assert len(report["jobs"]) == 2
     assert report["counters"]["batch.jobs_ok"] == 2
