@@ -42,10 +42,12 @@ _RESULTS: dict[str, list[dict]] = defaultdict(list)
 _HEADERS: dict[str, list[str]] = {}
 _BENCH: dict[str, dict] = {}
 _NATIVE_BENCH: dict[str, dict] = {}
+_SERVE_BENCH: dict[str, dict] = {}
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 BENCH_JSON = RESULTS_DIR / "BENCH_e1.json"
 BENCH_NATIVE_JSON = RESULTS_DIR / "BENCH_native.json"
+BENCH_SERVE_JSON = RESULTS_DIR / "BENCH_serve.json"
 
 
 #: Textual arg specs matching each workload's ``arg_types`` at the
@@ -171,6 +173,22 @@ def record_native_bench():
     return record
 
 
+@pytest.fixture
+def record_serve_bench():
+    """Callable: record_serve_bench(phase, **fields).
+
+    Same accumulate-per-row contract as ``record_bench`` (rows are load
+    phases, not kernels); merged records land in ``BENCH_serve.json``
+    at session end.  Latency fields follow the ``*_wall_s`` naming so
+    ``repro-stats check`` gates them against the committed trajectory.
+    """
+
+    def record(phase: str, **fields) -> None:
+        _SERVE_BENCH.setdefault(phase, {"kernel": phase}).update(fields)
+
+    return record
+
+
 def _format_table(experiment: str) -> str:
     headers = _HEADERS[experiment]
     rows = _RESULTS[experiment]
@@ -222,6 +240,24 @@ def _write_native_bench_json() -> None:
     BENCH_NATIVE_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
 
+def _write_serve_bench_json() -> None:
+    phases = [_SERVE_BENCH[name] for name in sorted(_SERVE_BENCH)]
+    requests = sum(int(p.get("requests", 0)) for p in phases)
+    shed = sum(int(p.get("shed", 0)) for p in phases)
+    payload = {
+        "experiment": "serve-load",
+        "python": platform.python_version(),
+        "kernels": phases,
+        "aggregate": {
+            "requests": requests,
+            "shed": shed,
+            "shed_rate": round(shed / requests, 4) if requests else None,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    BENCH_SERVE_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if _BENCH:
         _write_bench_json()
@@ -231,6 +267,10 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         _write_native_bench_json()
         terminalreporter.write_line(
             f"wrote native-tier trajectory to {BENCH_NATIVE_JSON}")
+    if _SERVE_BENCH:
+        _write_serve_bench_json()
+        terminalreporter.write_line(
+            f"wrote serve-load trajectory to {BENCH_SERVE_JSON}")
     if not _RESULTS:
         return
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -1,0 +1,188 @@
+"""Load harness for the ``repro-serve`` compile daemon.
+
+Drives a real daemon (HTTP over a unix socket, server in a background
+event-loop thread, one ``ServeClient`` per load thread) through the
+three phases a serving deployment cares about, and records the
+trajectory to ``benchmarks/results/BENCH_serve.json``:
+
+* ``cold_burst`` — many simultaneous clients ask for one identical
+  cold kernel; coalescing must make it cost exactly one compile.
+* ``warm_load`` — ≥ 1000 requests over a handful of warm kernels;
+  p50/p99 request latency (``*_wall_s`` fields, so ``repro-stats
+  check`` gates them) and the shed rate, which must be zero — cache
+  hits bypass admission control entirely.
+* ``overload`` — more distinct cold compiles at once than the
+  admission queue holds; the surplus is shed with 429 and every
+  accepted request still completes ``ok``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import statistics
+import threading
+import time
+
+import pytest
+
+from repro.serve import CompileDaemon, Server, ServeClient
+
+#: The warm working set: small distinct kernels, compiled once each.
+WARM_KERNELS = [
+    (f"function y = warm{tag}(x)\ny = x * {tag}.0 + 0.5;\nend\n",
+     ["double:1x32"])
+    for tag in range(4)
+]
+
+LOAD_THREADS = 8
+LOAD_REQUESTS_PER_THREAD = 125          # 8 * 125 = 1000 warm requests
+BURST_CLIENTS = 12
+OVERLOAD_CLIENTS = 12
+
+
+class _ServeHarness:
+    """Daemon + HTTP server on a unix socket, loop in a thread."""
+
+    def __init__(self, tmp_path, **daemon_kw):
+        self.socket_path = str(tmp_path / "serve.sock")
+        self.daemon = CompileDaemon(**daemon_kw).start()
+        self.loop = asyncio.new_event_loop()
+        self.server = Server(self.daemon, path=self.socket_path)
+        self.thread = threading.Thread(target=self.loop.run_forever,
+                                       daemon=True)
+        self.thread.start()
+        asyncio.run_coroutine_threadsafe(
+            self.server.start(), self.loop).result(timeout=10)
+
+    def counters(self) -> dict:
+        return self.daemon.registry.snapshot()["counters"]
+
+    def close(self):
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self.loop).result(timeout=10)
+        self.daemon.stop()
+        asyncio.run_coroutine_threadsafe(
+            self.server.close_connections(),
+            self.loop).result(timeout=10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+
+@pytest.fixture
+def harness(tmp_path):
+    fixture = _ServeHarness(tmp_path, workers=2, queue_depth=4)
+    try:
+        yield fixture
+    finally:
+        fixture.close()
+
+
+def _fan_out(count, work):
+    """Run ``work(index)`` on ``count`` threads, one client each;
+    returns the per-index results."""
+    results = [None] * count
+    errors = []
+    barrier = threading.Barrier(count)
+
+    def run(index):
+        try:
+            barrier.wait(timeout=30)
+            results[index] = work(index)
+        except Exception as exc:  # pragma: no cover - fail loudly
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,))
+               for i in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == [], errors
+    return results
+
+
+def test_serve_load_trajectory(harness, record_serve_bench):
+    # ---- phase 1: cold burst, coalescing proof ----------------------
+    cold = ("function y = burst(x)\ny = x + x * 2.0;\nend\n",
+            ["double:1x64"])
+
+    def burst(index):
+        with ServeClient(path=harness.socket_path) as client:
+            return client.compile(cold[0], cold[1], include_c=False)
+
+    replies = _fan_out(BURST_CLIENTS, burst)
+    assert all(r["status"] == "ok" and r["http_status"] == 200
+               for r in replies)
+    counters = harness.counters()
+    # The whole burst cost exactly one compile: one leader, the rest
+    # coalesced onto its in-flight future or hit the just-warmed cache.
+    assert counters["serve.compiles"] == 1
+    assert counters["serve.accepted"] == 1
+    assert counters.get("serve.coalesced", 0) \
+        + counters.get("serve.cache_hits", 0) == BURST_CLIENTS - 1
+    assert harness.daemon.cache.stats()["disk_write_races"] == 0
+    record_serve_bench(
+        "cold_burst", requests=BURST_CLIENTS, compiles=1,
+        coalesced=int(counters.get("serve.coalesced", 0)), shed=0)
+
+    # ---- phase 2: warm the working set ------------------------------
+    with ServeClient(path=harness.socket_path) as client:
+        for source, args in WARM_KERNELS:
+            reply = client.compile(source, args, include_c=False)
+            assert reply["status"] == "ok"
+
+    before = harness.counters()
+
+    # ---- phase 3: sustained warm load, p50/p99 ----------------------
+    def load(index):
+        latencies = []
+        with ServeClient(path=harness.socket_path) as client:
+            for i in range(LOAD_REQUESTS_PER_THREAD):
+                source, args = WARM_KERNELS[(index + i) % len(WARM_KERNELS)]
+                t0 = time.perf_counter()
+                reply = client.compile(source, args, include_c=False)
+                latencies.append(time.perf_counter() - t0)
+                assert reply["http_status"] == 200, reply
+                assert reply["cached"] is True, reply
+        return latencies
+
+    latencies = [wall for chunk in _fan_out(LOAD_THREADS, load)
+                 for wall in chunk]
+    total = LOAD_THREADS * LOAD_REQUESTS_PER_THREAD
+    assert len(latencies) == total >= 1000
+
+    counters = harness.counters()
+    assert counters["serve.requests"] - before["serve.requests"] == total
+    # Warm hits never recompile and are never shed.
+    assert counters["serve.compiles"] == before["serve.compiles"]
+    assert counters.get("serve.shed", 0) == 0
+    quantiles = statistics.quantiles(latencies, n=100)
+    record_serve_bench(
+        "warm_load", requests=total, shed=0,
+        p50_wall_s=round(quantiles[49], 6),
+        p99_wall_s=round(quantiles[98], 6))
+
+    # ---- phase 4: overload, admission control -----------------------
+    def overload(index):
+        source = (f"function y = flood{index}(x)\n"
+                  f"y = x - {index}.0;\nend\n")
+        with ServeClient(path=harness.socket_path) as client:
+            return client.compile(source, ["double:1x32"],
+                                  include_c=False)
+
+    replies = _fan_out(OVERLOAD_CLIENTS, overload)
+    shed = [r for r in replies if r["status"] == "shed"]
+    accepted = [r for r in replies if r["status"] == "ok"]
+    # Every reply is exactly one of: accepted-and-completed, or shed
+    # with a structured 429 at admission time.  Nothing is lost.
+    assert len(shed) + len(accepted) == OVERLOAD_CLIENTS
+    assert all(r["http_status"] == 429 for r in shed)
+    assert len(shed) >= 1, "overload burst never tripped admission"
+    record_serve_bench(
+        "overload", requests=OVERLOAD_CLIENTS, shed=len(shed),
+        accepted=len(accepted))
+
+    # The daemon is still healthy after all four phases.
+    with ServeClient(path=harness.socket_path) as client:
+        assert client.healthz()["status"] == "ok"

@@ -16,6 +16,7 @@ setup(
             "repro-mc = repro.cli:main",
             "repro-fuzz = repro.fuzz.cli:main",
             "repro-batch = repro.service.cli:main",
+            "repro-serve = repro.serve.cli:main",
             "repro-stats = repro.observe.stats_cli:main",
         ]
     },

@@ -63,6 +63,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _OPTION_FIELDS = ("mode", "scalar_opt", "inline", "simd", "complex_isel",
                   "scalar_mac")
 
+#: Cache-format version tag.  It salts every :func:`cache_key` and is
+#: embedded in the on-disk pickle envelope, so a long-lived shared
+#: ``REPRO_CACHE_DIR`` (service pools, the ``repro-serve`` daemon)
+#: can never serve an entry written by an older code revision whose
+#: pickle still *loads* but carries stale semantics.  Bump it whenever
+#: the meaning of a cached :class:`CompilationResult` changes (IR
+#: layout, emitter output, option semantics); skewed entries then read
+#: as counted misses, never as wrong answers.
+CACHE_SCHEMA = "repro-cache-v2"
+
 
 def _arg_token(mtype: MType) -> str:
     shape = mtype.shape
@@ -83,9 +93,13 @@ def cache_key(source: str,
     specialization value), the entry point, the processor fingerprint
     (name + cost table + instruction list) and every option switch.
     ``filename`` participates because it is baked into diagnostics
-    carried by the result.
+    carried by the result.  :data:`CACHE_SCHEMA` salts the hash so a
+    revision that changes cached semantics addresses a disjoint key
+    space from older on-disk entries.
     """
     hasher = hashlib.sha256()
+    hasher.update(CACHE_SCHEMA.encode("ascii"))
+    hasher.update(b"\x00")
     hasher.update(source.encode("utf-8"))
     hasher.update(b"\x00")
     for mtype in args:
@@ -119,6 +133,7 @@ class CompilationCache:
         self.disk_write_races = 0
         self.disk_read_errors = 0
         self.disk_write_errors = 0
+        self.disk_schema_skews = 0
         if cache_dir is None:
             cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
         self.cache_dir = Path(cache_dir) if cache_dir else None
@@ -183,11 +198,26 @@ class CompilationCache:
             return None
         try:
             with path.open("rb") as stream:
-                entry = pickle.load(stream)
+                envelope = pickle.load(stream)
+            # Entries are published inside a schema-tagged envelope.
+            # Anything else — a raw pre-envelope pickle, or an envelope
+            # from a revision with a different CACHE_SCHEMA — unpickles
+            # cleanly but must not be served: it is counted as a skew,
+            # unlinked, and treated as a miss.
+            if not (isinstance(envelope, dict)
+                    and envelope.get("schema") == CACHE_SCHEMA):
+                with self._lock:
+                    self.disk_schema_skews += 1
+                obs_trace.current().counter("cache.disk_schema_skew")
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                return None
             with self._lock:
                 self.disk_reads += 1
             obs_trace.current().counter("cache.disk_read")
-            return entry
+            return envelope["result"]
         except Exception as exc:
             # A corrupt or version-skewed entry behaves as a miss, but
             # never silently: corruption that goes uncounted looks like
@@ -215,7 +245,8 @@ class CompilationCache:
                 prefix=f".{key[:16]}.tmp.", dir=path.parent)
             try:
                 with os.fdopen(fd, "wb") as stream:
-                    pickle.dump(result, stream, pickle.HIGHEST_PROTOCOL)
+                    pickle.dump({"schema": CACHE_SCHEMA, "result": result},
+                                stream, pickle.HIGHEST_PROTOCOL)
                 raced = path.exists()
                 os.replace(tmp_name, path)
             except BaseException:
@@ -268,9 +299,22 @@ class CompilationCache:
             self.disk_reads = self.disk_writes = 0
             self.disk_write_races = 0
             self.disk_read_errors = self.disk_write_errors = 0
+            self.disk_schema_skews = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        # Same lock as every other accessor: an unlocked read could
+        # observe the OrderedDict mid-resize under a concurrent writer.
+        with self._lock:
+            return len(self._entries)
+
+    def peek(self, key: str) -> "CompilationResult | None":
+        """Memory-layer-only lookup: no disk I/O, no hit/miss counting,
+        no LRU reordering.  The serve daemon uses it to re-check for a
+        concurrently-published entry while holding its own admission
+        lock, where a full :meth:`get` (disk reads, stat skew) would be
+        both slow and misleading."""
+        with self._lock:
+            return self._entries.get(key)
 
     def stats(self) -> dict[str, int]:
         with self._lock:
@@ -282,10 +326,21 @@ class CompilationCache:
                     "disk_write_races": self.disk_write_races,
                     "disk_read_errors": self.disk_read_errors,
                     "disk_write_errors": self.disk_write_errors,
+                    "disk_schema_skews": self.disk_schema_skews,
                     "size": len(self._entries)}
 
 
 _default_cache = CompilationCache()
+
+#: Serializes process-wide cache replacement.  The swap itself must be
+#: atomic from the point of view of concurrent ``default_cache()``
+#: callers: the new cache is fully constructed *before* the global is
+#: rebound (one reference assignment, atomic in CPython), so an
+#: in-flight reader observes either the complete old cache or the
+#: complete new one — never a partially initialized object.  The lock
+#: additionally keeps two concurrent ``configure()`` calls (a daemon
+#: reconfigure racing a test fixture) from interleaving.
+_configure_lock = threading.Lock()
 
 
 def default_cache() -> CompilationCache:
@@ -295,17 +350,22 @@ def default_cache() -> CompilationCache:
 
 def configure(maxsize: "int | None" = None,
               cache_dir: "str | Path | None" = None) -> CompilationCache:
-    """Replace the process-wide cache (tests, services with custom dirs)."""
+    """Replace the process-wide cache (tests, services with custom
+    dirs).  Safe against in-flight ``default_cache()`` callers: they
+    keep using the cache they already resolved; new callers see the
+    replacement."""
     global _default_cache
-    _default_cache = CompilationCache(
+    replacement = CompilationCache(
         maxsize=maxsize if maxsize is not None else 256,
         cache_dir=cache_dir)
-    return _default_cache
+    with _configure_lock:
+        _default_cache = replacement
+    return replacement
 
 
 def clear() -> None:
-    _default_cache.clear()
+    default_cache().clear()
 
 
 def stats() -> dict[str, int]:
-    return _default_cache.stats()
+    return default_cache().stats()

@@ -139,15 +139,21 @@ def _divide(a, b):
 
 def _power(a, b):
     # Negative base with fractional exponent goes complex in MATLAB.
+    # Overflow-to-HUGE_VAL is intentional (matches c_pow in the C
+    # runtime and both simulator backends), so "over" is suppressed
+    # alongside the usual divide/invalid edge cases.
     if not np.iscomplexobj(a) and not np.iscomplexobj(b):
         base = np.asarray(a, dtype=np.float64)
         expo = np.asarray(b, dtype=np.float64)
         needs_complex = np.any((base < 0) & (expo != np.round(expo)))
         if needs_complex:
-            return np.power(base.astype(np.complex128), expo)
-        with np.errstate(divide="ignore", invalid="ignore"):
+            with np.errstate(over="ignore", invalid="ignore"):
+                return np.power(base.astype(np.complex128), expo)
+        with np.errstate(divide="ignore", invalid="ignore",
+                         over="ignore"):
             return np.power(base, expo)
-    return np.power(a, b)
+    with np.errstate(over="ignore", invalid="ignore"):
+        return np.power(a, b)
 
 
 # ----------------------------------------------------------------------

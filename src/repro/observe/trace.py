@@ -28,6 +28,7 @@ the disabled-mode overhead guarantee documented in DESIGN.md.
 from __future__ import annotations
 
 import time
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 
 from repro.observe.remarks import Remark
@@ -208,25 +209,46 @@ class TraceSession:
 #: Shared sink for all instrumentation when no session is installed.
 _DISABLED = TraceSession(enabled=False)
 
-#: Stack of installed sessions; innermost wins.
-_ACTIVE: list[TraceSession] = []
+#: Stack of installed sessions (innermost wins), carried in a
+#: :class:`contextvars.ContextVar` so concurrent requests in a threaded
+#: or async daemon each see only their own session.  A process-global
+#: list here would cross-contaminate spans and counters between
+#: requests: thread B's instrumentation would land in whatever session
+#: thread A happened to have installed.  The stack is an immutable
+#: tuple so ``use`` can install/restore with set/reset tokens and never
+#: mutate state shared across contexts.
+_ACTIVE: "ContextVar[tuple[TraceSession, ...]]" = ContextVar(
+    "repro_trace_active", default=())
 
 
 def current() -> TraceSession:
-    """The ambient trace session (a disabled one when none installed)."""
-    return _ACTIVE[-1] if _ACTIVE else _DISABLED
+    """The ambient trace session (a disabled one when none installed).
+
+    Context-local: each thread and each asyncio task resolves the
+    sessions installed in *its* context only.
+    """
+    stack = _ACTIVE.get()
+    return stack[-1] if stack else _DISABLED
 
 
 class use:
-    """Context manager installing ``session`` as the ambient one."""
+    """Context manager installing ``session`` as the ambient one.
+
+    Installation is context-local (see ``_ACTIVE``): a session
+    installed in one thread or asyncio task is invisible to every
+    other, so concurrent daemon requests never share counters.  Note
+    that a ``threading.Thread`` starts in a *fresh* context — a worker
+    thread that should report into a session must install it itself.
+    """
 
     def __init__(self, session: TraceSession) -> None:
         self.session = session
+        self._token = None
 
     def __enter__(self) -> TraceSession:
-        _ACTIVE.append(self.session)
+        self._token = _ACTIVE.set(_ACTIVE.get() + (self.session,))
         return self.session
 
     def __exit__(self, *exc) -> bool:
-        _ACTIVE.pop()
+        _ACTIVE.reset(self._token)
         return False

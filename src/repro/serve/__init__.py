@@ -1,0 +1,34 @@
+"""``repro-serve``: the long-lived compile daemon.
+
+Public surface::
+
+    from repro.serve import CompileDaemon, CompileRequest, ServeClient
+
+    with CompileDaemon(workers=4, queue_depth=32) as daemon:
+        ticket = daemon.submit(CompileRequest(
+            source=src, args=["single:1x256", "single:1x32"]))
+        result = ticket.wait()
+    assert result.ok
+
+The HTTP front-end (:class:`repro.serve.httpd.Server`) and the
+``repro-serve`` CLI (:mod:`repro.serve.cli`) wrap the same engine; the
+blocking :class:`ServeClient` talks to a running daemon over a unix
+socket or TCP.
+"""
+
+from repro.serve.client import ServeClient, ServeUnavailable
+from repro.serve.daemon import (OUTCOMES, CompileDaemon, CompileRequest,
+                                RequestError, ServeResult, Ticket)
+from repro.serve.httpd import Server
+
+__all__ = [
+    "OUTCOMES",
+    "CompileDaemon",
+    "CompileRequest",
+    "RequestError",
+    "Server",
+    "ServeClient",
+    "ServeResult",
+    "ServeUnavailable",
+    "Ticket",
+]

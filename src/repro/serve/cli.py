@@ -1,0 +1,141 @@
+"""``repro-serve`` — the long-lived compile daemon.
+
+Examples::
+
+    # Serve on a unix socket with 4 workers and a persistent cache
+    repro-serve --socket /tmp/repro-serve.sock --workers 4 \\
+        --cache-dir /var/cache/repro
+
+    # TCP, bounded admission, 30 s per-job deadline
+    repro-serve --host 127.0.0.1 --port 8732 \\
+        --queue-depth 32 --timeout 30
+
+The daemon prints one ``ready`` line once every listener is bound
+(supervisors and tests key off it), then serves until SIGTERM/SIGINT.
+The first signal starts a graceful drain: listeners close, queued
+compiles finish, every in-flight response is delivered, the worker
+pool shuts down, and the process exits 0.  A second signal aborts the
+drain (outstanding requests are answered as shed) and exits 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import signal
+import sys
+import traceback
+
+from repro.errors import EXIT_FAILURE, EXIT_INTERNAL, EXIT_OK, EXIT_USAGE
+from repro.serve.daemon import CompileDaemon
+from repro.serve.httpd import Server
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Long-lived MATLAB-to-C compile daemon: warm "
+                    "cache, request coalescing, admission control, "
+                    "Prometheus /metrics")
+    parser.add_argument("--socket", metavar="PATH", default=None,
+                        help="serve on this unix socket path")
+    parser.add_argument("--host", default=None,
+                        help="serve on this TCP host (with --port)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = ephemeral, printed in the "
+                             "ready line)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="compile worker processes (default: CPU "
+                             "count capped at 4)")
+    parser.add_argument("--queue-depth", type=int, default=64,
+                        help="max distinct in-flight compiles before "
+                             "requests are shed with 429 (default 64)")
+    parser.add_argument("--max-batch", type=int, default=None,
+                        help="max jobs per dispatch wave (default: "
+                             "2x workers)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="default per-job deadline in seconds "
+                             "(default 120)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="shared on-disk compilation cache "
+                             "(default: REPRO_CACHE_DIR, else a "
+                             "daemon-private temp dir)")
+    parser.add_argument("--cache-size", type=int, default=512,
+                        help="warm in-process LRU capacity "
+                             "(default 512)")
+    return parser
+
+
+async def _amain(options) -> int:
+    cache_dir = options.cache_dir or os.environ.get("REPRO_CACHE_DIR") \
+        or None
+    daemon = CompileDaemon(
+        workers=options.workers, queue_depth=options.queue_depth,
+        max_batch=options.max_batch, timeout=options.timeout,
+        cache_dir=cache_dir, cache_size=options.cache_size)
+    daemon.start()
+    server = Server(daemon, path=options.socket,
+                    host=options.host,
+                    port=options.port if options.host else None)
+    try:
+        await server.start()
+    except OSError as exc:
+        daemon.stop(drain=False)
+        print(f"repro-serve: error: cannot bind: {exc}",
+              file=sys.stderr)
+        return EXIT_FAILURE
+
+    print(f"repro-serve: ready on {' '.join(server.endpoints())} "
+          f"(workers={daemon.workers}, "
+          f"queue-depth={daemon.queue_depth}, "
+          f"cache={daemon.cache_dir})", flush=True)
+
+    loop = asyncio.get_running_loop()
+    signals = asyncio.Queue()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, signals.put_nowait, signum)
+
+    signum = await signals.get()
+    print(f"repro-serve: {signal.Signals(signum).name} received, "
+          f"draining ({daemon.inflight()} in flight)", flush=True)
+    # Close the listeners first so no new work arrives, then drain the
+    # daemon off-loop (it joins threads and the worker pool).  A second
+    # signal during the drain aborts it.
+    await server.stop()
+    drain = loop.run_in_executor(None, daemon.stop)
+    abort = asyncio.ensure_future(signals.get())
+    done, _pending = await asyncio.wait(
+        {drain, abort}, return_when=asyncio.FIRST_COMPLETED)
+    if abort in done:
+        print("repro-serve: second signal — aborting drain",
+              flush=True)
+        daemon.stop(drain=False)
+        await drain
+        return EXIT_FAILURE
+    abort.cancel()
+    await server.close_connections()
+    print("repro-serve: drained, bye", flush=True)
+    return EXIT_OK
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    if options.socket is None and options.host is None:
+        parser.print_usage(sys.stderr)
+        print("repro-serve: error: need --socket PATH or --host HOST",
+              file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        return asyncio.run(_amain(options))
+    except KeyboardInterrupt:
+        return EXIT_FAILURE
+    except Exception:
+        print("repro-serve: internal error:", file=sys.stderr)
+        traceback.print_exc()
+        return EXIT_INTERNAL
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

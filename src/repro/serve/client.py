@@ -1,0 +1,170 @@
+"""Blocking client for a running ``repro-serve`` daemon.
+
+Thin ``http.client`` wrapper speaking the daemon's JSON API over a
+unix socket or TCP, with keep-alive connection reuse and a single
+transparent reconnect (a daemon restart between two calls looks like
+one slow call, not an error).  One :class:`ServeClient` wraps one
+connection and is **not** thread-safe — the load harness gives each
+worker thread its own client, which is also how a real multi-client
+deployment behaves.
+
+    client = ServeClient(path="/tmp/repro-serve.sock")
+    reply = client.compile(source, ["single:1x256", "single:1x32"])
+    assert reply["status"] == "ok" and reply["http_status"] == 200
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+
+
+class ServeUnavailable(ConnectionError):
+    """The daemon cannot be reached (not started, socket gone)."""
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """``http.client`` over an ``AF_UNIX`` stream socket."""
+
+    def __init__(self, path: str, timeout: "float | None" = None):
+        super().__init__("localhost", timeout=timeout)
+        self._unix_path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        sock.connect(self._unix_path)
+        self.sock = sock
+
+
+class ServeClient:
+    """One keep-alive connection to a daemon."""
+
+    def __init__(self, path: "str | None" = None,
+                 host: "str | None" = None,
+                 port: "int | None" = None,
+                 timeout: float = 120.0):
+        if path is None and host is None:
+            raise ValueError("need a unix socket path or a TCP host")
+        self.path = path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: "http.client.HTTPConnection | None" = None
+
+    # -- transport ------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            if self.path is not None:
+                self._conn = _UnixHTTPConnection(self.path,
+                                                 timeout=self.timeout)
+            else:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def request(self, method: str, target: str,
+                body: "dict | None" = None):
+        """-> (http_status, content_type, body_bytes); reconnects once
+        on a dropped keep-alive connection."""
+        payload = json.dumps(body).encode("utf-8") \
+            if body is not None else None
+        headers = {"Content-Type": "application/json"} \
+            if payload is not None else {}
+        for attempt in (0, 1):
+            conn = self._connect()
+            try:
+                conn.request(method, target, body=payload,
+                             headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                return (response.status,
+                        response.getheader("Content-Type", ""),
+                        data)
+            except (http.client.HTTPException, ConnectionError,
+                    BrokenPipeError, FileNotFoundError, OSError) as exc:
+                self.close()
+                if attempt:
+                    raise ServeUnavailable(
+                        f"daemon unreachable: "
+                        f"{type(exc).__name__}: {exc}") from exc
+
+    def request_json(self, method: str, target: str,
+                     body: "dict | None" = None) -> dict:
+        status, _ctype, data = self.request(method, target, body)
+        try:
+            document = json.loads(data.decode("utf-8")) if data else {}
+        except ValueError:
+            document = {"status": "bad_response",
+                        "detail": data[:200].decode("latin-1")}
+        if not isinstance(document, dict):
+            document = {"status": "bad_response", "detail": document}
+        document["http_status"] = status
+        return document
+
+    # -- API ------------------------------------------------------------
+
+    def compile(self, source: str, args: "list[str]",
+                entry: "str | None" = None,
+                processor: str = "vliw_simd_dsp",
+                options: "dict | None" = None,
+                filename: str = "<serve>",
+                timeout: "float | None" = None,
+                include_c: bool = True) -> dict:
+        """One compile request; the response dict always carries
+        ``status`` (``ok``/``error``/``timeout``/``crash``/``shed``/
+        ``bad_request``) and ``http_status``."""
+        body = {"source": source, "args": list(args),
+                "processor": processor, "filename": filename,
+                "include_c": include_c}
+        if entry is not None:
+            body["entry"] = entry
+        if options:
+            body["options"] = dict(options)
+        if timeout is not None:
+            body["timeout"] = timeout
+        return self.request_json("POST", "/compile", body)
+
+    def healthz(self) -> dict:
+        return self.request_json("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self.request_json("GET", "/stats")
+
+    def metrics(self) -> str:
+        status, _ctype, data = self.request("GET", "/metrics")
+        if status != 200:
+            raise ServeUnavailable(f"/metrics returned {status}")
+        return data.decode("utf-8")
+
+    def wait_ready(self, timeout: float = 30.0,
+                   interval: float = 0.05) -> dict:
+        """Poll ``/healthz`` until the daemon answers (daemon boots are
+        asynchronous: the CLI prints its ready line only after bind,
+        but callers starting the process themselves need this)."""
+        deadline = time.monotonic() + timeout
+        last: "Exception | None" = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except (ServeUnavailable, OSError) as exc:
+                last = exc
+                time.sleep(interval)
+        raise ServeUnavailable(
+            f"daemon not ready after {timeout:.1f}s: {last}")

@@ -43,6 +43,23 @@ def init_worker(cache_dir: "str | None", cache_size: int = 256) -> None:
     """Pool initializer: point this worker at the batch's shared disk
     cache (one in-memory LRU per worker, reused across its jobs) and
     at the sibling native ``.so`` store for ``warm_native`` jobs."""
+    # Shed any signal plumbing inherited from the parent.  A worker
+    # forked from an asyncio parent (the repro-serve daemon) inherits
+    # its ``signal.set_wakeup_fd`` pipe and Python-level handlers; a
+    # worker receiving SIGTERM (pool teardown uses terminate()) would
+    # then write the signal byte into the *shared* pipe and the parent
+    # loop would observe a phantom signal — observed as a daemon drain
+    # aborting itself.  Workers must die silently and by default.
+    if hasattr(signal, "set_wakeup_fd"):
+        try:
+            signal.set_wakeup_fd(-1)
+        except (ValueError, OSError):
+            pass
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):
+            pass
     _cache.configure(maxsize=cache_size, cache_dir=cache_dir)
     if cache_dir:
         from repro import native

@@ -171,6 +171,99 @@ def test_corrupt_disk_entry_is_a_miss(tmp_path):
     assert path.is_file()
 
 
+def test_schema_skewed_envelope_is_counted_miss(tmp_path):
+    # An entry written under a different CACHE_SCHEMA unpickles cleanly
+    # but must never be served: it reads as a *counted* miss and the
+    # stale file is dropped so it cannot keep skewing.
+    store = cache.CompilationCache(cache_dir=tmp_path)
+    key = "a" * 64
+    path = tmp_path / key[:2] / f"{key}.pkl"
+    path.parent.mkdir(parents=True)
+    path.write_bytes(pickle.dumps(
+        {"schema": "repro-cache-v1", "result": "stale"}))
+    assert store.get(key) is None
+    assert not path.exists()
+    assert store.stats()["disk_schema_skews"] == 1
+    assert store.stats()["disk_read_errors"] == 0
+
+
+def test_pre_envelope_raw_pickle_is_schema_skew(tmp_path):
+    # Entries from before the envelope existed are bare pickled results;
+    # they load fine, so only the schema check can reject them.
+    store = cache.CompilationCache(cache_dir=tmp_path)
+    key = "b" * 64
+    path = tmp_path / key[:2] / f"{key}.pkl"
+    path.parent.mkdir(parents=True)
+    path.write_bytes(pickle.dumps({"tag": 1}))  # dict, but no schema
+    assert store.get(key) is None
+    assert not path.exists()
+    assert store.stats()["disk_schema_skews"] == 1
+
+
+def test_cache_key_salted_by_schema(monkeypatch):
+    # Bumping CACHE_SCHEMA must move every key, so a new revision
+    # addresses a disjoint key space from older on-disk entries.
+    before = _key()
+    monkeypatch.setattr(cache, "CACHE_SCHEMA", "repro-cache-v999")
+    assert _key() != before
+
+
+def test_peek_is_memory_only_and_stat_free(tmp_path):
+    store = cache.CompilationCache(cache_dir=tmp_path)
+    key = "c" * 64
+    store._disk_put(key, {"tag": 7})
+    baseline = store.stats()
+    # peek never touches the disk layer and never counts hit/miss.
+    assert store.peek(key) is None
+    assert store.stats() == baseline
+    store._remember(key, {"tag": 7})
+    assert store.peek(key) == {"tag": 7}
+    after = store.stats()
+    assert after["hits"] == baseline["hits"]
+    assert after["misses"] == baseline["misses"]
+
+
+def test_configure_swap_is_atomic_under_concurrent_readers(tmp_path):
+    # Hammer configure() from one thread while others resolve and use
+    # the process-wide cache: readers must only ever observe a fully
+    # constructed cache (a partially initialized one would raise).
+    import threading
+
+    stop = threading.Event()
+    errors = []
+
+    def reconfigure():
+        try:
+            while not stop.is_set():
+                cache.configure(maxsize=8, cache_dir=tmp_path)
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    def reader(tag):
+        try:
+            for i in range(200):
+                store = cache.default_cache()
+                key = ("%02d" % (i % 10)) + "b" * 62
+                if store.get(key) is None:
+                    store._remember(key, {"tag": tag})
+                len(store)
+                store.stats()
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    flipper = threading.Thread(target=reconfigure)
+    readers = [threading.Thread(target=reader, args=(t,))
+               for t in range(4)]
+    flipper.start()
+    for thread in readers:
+        thread.start()
+    for thread in readers:
+        thread.join()
+    stop.set()
+    flipper.join()
+    assert errors == []
+
+
 def test_pickled_result_drops_runtime_state():
     result = compile_source(SRC, args=ARGS)
     result.compiled_program()
@@ -373,7 +466,8 @@ def test_disk_write_race_is_counted(tmp_path):
 def test_stats_exposes_contention_counters():
     expected = {"hits", "misses", "disk_hits", "evictions",
                 "disk_reads", "disk_writes", "disk_write_races",
-                "disk_read_errors", "disk_write_errors", "size"}
+                "disk_read_errors", "disk_write_errors",
+                "disk_schema_skews", "size"}
     assert expected <= set(cache.stats())
 
 

@@ -103,6 +103,70 @@ def test_ambient_session_stack():
     assert not obs_trace.current().enabled
 
 
+def test_ambient_session_is_isolated_across_threads():
+    # Regression: the ambient stack used to be a process-global list,
+    # so two concurrent sessions saw (and popped!) each other's
+    # entries.  With a ContextVar each thread starts with a fresh,
+    # empty stack and counters never cross-contaminate.
+    import threading
+
+    barrier = threading.Barrier(2)
+    sessions = {}
+    errors = []
+
+    def run(name):
+        session = TraceSession()
+        sessions[name] = session
+        try:
+            with obs_trace.use(session):
+                barrier.wait(timeout=10)
+                # Both threads are inside their own session now.
+                if obs_trace.current() is not session:
+                    errors.append(f"{name}: foreign ambient session")
+                obs_trace.current().counter(f"only.{name}")
+                barrier.wait(timeout=10)
+            if obs_trace.current().enabled:
+                errors.append(f"{name}: stack not restored")
+        except Exception as exc:  # pragma: no cover - fail loudly
+            errors.append(f"{name}: {exc!r}")
+
+    threads = [threading.Thread(target=run, args=(n,))
+               for n in ("a", "b")]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    assert sessions["a"].counters == {"only.a": 1}
+    assert sessions["b"].counters == {"only.b": 1}
+
+
+def test_ambient_session_is_isolated_across_asyncio_tasks():
+    # Each asyncio task copies the context at creation, so sibling
+    # tasks entering their own sessions must never observe each other.
+    import asyncio
+
+    async def one(name, gate):
+        session = TraceSession()
+        with obs_trace.use(session):
+            await gate.wait()  # force interleaving with the sibling
+            assert obs_trace.current() is session
+            obs_trace.current().counter(f"task.{name}")
+        assert not obs_trace.current().enabled
+        return session
+
+    async def main():
+        gate = asyncio.Event()
+        tasks = [asyncio.create_task(one(n, gate)) for n in ("a", "b")]
+        await asyncio.sleep(0)  # both tasks park on the gate
+        gate.set()
+        return await asyncio.gather(*tasks)
+
+    first, second = asyncio.run(main())
+    assert first.counters == {"task.a": 1}
+    assert second.counters == {"task.b": 1}
+
+
 def test_remark_helpers_route_to_ambient_session():
     session = TraceSession()
     with obs_trace.use(session):
