@@ -43,11 +43,13 @@ _HEADERS: dict[str, list[str]] = {}
 _BENCH: dict[str, dict] = {}
 _NATIVE_BENCH: dict[str, dict] = {}
 _SERVE_BENCH: dict[str, dict] = {}
+_DSE_BENCH: dict[str, dict] = {}
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 BENCH_JSON = RESULTS_DIR / "BENCH_e1.json"
 BENCH_NATIVE_JSON = RESULTS_DIR / "BENCH_native.json"
 BENCH_SERVE_JSON = RESULTS_DIR / "BENCH_serve.json"
+BENCH_DSE_JSON = RESULTS_DIR / "BENCH_dse.json"
 
 
 #: Textual arg specs matching each workload's ``arg_types`` at the
@@ -189,6 +191,23 @@ def record_serve_bench():
     return record
 
 
+@pytest.fixture
+def record_dse_bench():
+    """Callable: record_dse_bench(phase, **fields).
+
+    Same accumulate-per-row contract as ``record_bench`` (rows are
+    search phases: reference measurement, candidate evaluation);
+    merged records land in ``BENCH_dse.json`` at session end.  Wall
+    times follow the ``*_wall_s`` naming so ``repro-stats check``
+    gates them against the committed trajectory.
+    """
+
+    def record(phase: str, **fields) -> None:
+        _DSE_BENCH.setdefault(phase, {"kernel": phase}).update(fields)
+
+    return record
+
+
 def _format_table(experiment: str) -> str:
     headers = _HEADERS[experiment]
     rows = _RESULTS[experiment]
@@ -258,6 +277,28 @@ def _write_serve_bench_json() -> None:
     BENCH_SERVE_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
 
+def _write_dse_bench_json() -> None:
+    phases = [_DSE_BENCH[name] for name in sorted(_DSE_BENCH)]
+    total = sum(p.get(k, 0.0) for p in phases for k in p
+                if k.endswith("_wall_s"))
+    front = max((int(p.get("front_size", 0)) for p in phases),
+                default=0)
+    best = max((p.get("best_speedup", 0.0) for p in phases),
+               default=0.0)
+    payload = {
+        "experiment": "dse-search",
+        "python": platform.python_version(),
+        "kernels": phases,
+        "aggregate": {
+            "search_total_wall_s": round(total, 6),
+            "front_size": front,
+            "best_speedup": round(best, 4),
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    BENCH_DSE_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if _BENCH:
         _write_bench_json()
@@ -271,6 +312,10 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         _write_serve_bench_json()
         terminalreporter.write_line(
             f"wrote serve-load trajectory to {BENCH_SERVE_JSON}")
+    if _DSE_BENCH:
+        _write_dse_bench_json()
+        terminalreporter.write_line(
+            f"wrote design-space-search trajectory to {BENCH_DSE_JSON}")
     if not _RESULTS:
         return
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -18,6 +18,7 @@ setup(
             "repro-batch = repro.service.cli:main",
             "repro-serve = repro.serve.cli:main",
             "repro-stats = repro.observe.stats_cli:main",
+            "repro-dse = repro.dse.cli:main",
         ]
     },
 )

@@ -253,6 +253,7 @@ def make_simd_instruction_set(elem: ScalarKind, lanes: int, *,
                               prefix: str = "v",
                               load_cycles: int = 2,
                               alu_cycles: int = 1,
+                              mul_cycles: "int | None" = None,
                               mac_cycles: int = 1,
                               reduce_cycles: int = 2,
                               div_cycles: int = 10) -> list[Instruction]:
@@ -263,6 +264,8 @@ def make_simd_instruction_set(elem: ScalarKind, lanes: int, *,
     (``vadd_f32x8`` etc.) and intrinsics (``asip_vadd_f32x8``).
     """
     suffix = f"{elem.value}x{lanes}"
+    if mul_cycles is None:
+        mul_cycles = alu_cycles
 
     def instr(op: str, cycles: int, description: str) -> Instruction:
         name = f"{prefix}{op[1:] if op.startswith('v') else op}_{suffix}"
@@ -284,7 +287,7 @@ def make_simd_instruction_set(elem: ScalarKind, lanes: int, *,
         instr("vsplat", 1, "broadcast scalar to all lanes"),
         instr("vadd", alu_cycles, "lane-wise add"),
         instr("vsub", alu_cycles, "lane-wise subtract"),
-        instr("vmul", alu_cycles, "lane-wise multiply"),
+        instr("vmul", mul_cycles, "lane-wise multiply"),
         instr("vdiv", div_cycles, "lane-wise divide"),
         instr("vmac", mac_cycles, "lane-wise multiply-accumulate"),
         instr("vneg", alu_cycles, "lane-wise negate"),

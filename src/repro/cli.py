@@ -22,9 +22,9 @@ import os
 import sys
 import traceback
 
-from repro.asip.isa_library import available_processors, load_processor
+from repro.asip.isa_library import available_processors
 from repro.compiler import CompilerOptions, arg as make_arg, compile_source
-from repro.errors import (EXIT_FAILURE, EXIT_INTERNAL, EXIT_OK,
+from repro.errors import (EXIT_FAILURE, EXIT_INTERNAL, EXIT_OK, IsaError,
                           ReproError)
 from repro.observe import TraceSession, trace as obs_trace
 from repro.observe.hotspots import annotate_source
@@ -68,7 +68,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--entry", default=None,
                         help="entry function name (default: first function)")
     parser.add_argument("--processor", default="vliw_simd_dsp",
-                        help="target processor description name")
+                        help="target processor: a shipped description "
+                             "name, 'simd_width:N' for the parametric "
+                             "SIMD family, or a 'dse:{...}' design-"
+                             "point spec")
     parser.add_argument("--baseline", action="store_true",
                         help="MATLAB-Coder-style baseline pipeline")
     parser.add_argument("--no-simd", action="store_true",
@@ -170,21 +173,28 @@ def _run(options, parser) -> int:
             print(name)
         return EXIT_OK
 
-    # Validate the processor name up front so every path (describe,
-    # emit-header, compile) reports it as a pinned operational failure
-    # instead of an internal KeyError traceback.
+    # Resolve the processor spec up front so every path (describe,
+    # emit-header, compile) reports problems through the pinned
+    # exit-code contract: an unknown shipped name is an operational
+    # failure (EXIT_FAILURE, as ever), while a malformed parameter
+    # value in a parametric spec (simd_width:0, a dse:{...} point with
+    # a negative cycle cost) is a usage error (EXIT_USAGE) with the
+    # sourced diagnostic — never a traceback.
+    from repro.service.jobs import resolve_processor
     try:
-        load_processor(options.processor)
+        processor = resolve_processor(options.processor)
     except KeyError as exc:
         print(f"repro-mc: error: {exc.args[0]}", file=sys.stderr)
         return EXIT_FAILURE
+    except (IsaError, ValueError) as exc:
+        parser.error(str(exc))
 
     if options.describe_processor:
-        print(load_processor(options.processor).summary())
+        print(processor.summary())
         return EXIT_OK
     if options.emit_header and options.source is None:
         from repro.asip.header_gen import generate_header
-        text = generate_header(load_processor(options.processor))
+        text = generate_header(processor)
         _write_output(text, options.output)
         return EXIT_OK
     if options.source is None:
@@ -231,7 +241,7 @@ def _run(options, parser) -> int:
     with obs_trace.use(session):
         try:
             result = compile_source(source, args=specs, entry=options.entry,
-                                    processor=options.processor,
+                                    processor=processor,
                                     options=pipeline,
                                     filename=options.source,
                                     use_cache=not options.no_cache)
@@ -315,20 +325,9 @@ def _simulate(result, source: str, specs, options):
 
     import numpy as np
 
-    from repro.ir.types import ArrayType
-    from repro.sim.machine import numpy_dtype
+    from repro.sim.inputs import random_inputs
 
-    rng = np.random.default_rng(options.seed)
-    inputs = []
-    for param in result.module.entry_function.params:
-        if isinstance(param.type, ArrayType):
-            data = rng.standard_normal(param.type.numel)
-            if param.type.elem.is_complex:
-                data = data + 1j * rng.standard_normal(param.type.numel)
-            inputs.append(data.astype(
-                numpy_dtype(param.type.elem.kind)))
-        else:
-            inputs.append(float(rng.standard_normal()))
+    inputs = random_inputs(result.module.entry_function, options.seed)
 
     if options.backend == "all":
         return _simulate_all(result, inputs, options)
@@ -374,7 +373,7 @@ def _simulate(result, source: str, specs, options):
         try:
             baseline = compile_source(source, args=specs,
                                       entry=options.entry,
-                                      processor=options.processor,
+                                      processor=result.processor,
                                       options=CompilerOptions.baseline(),
                                       use_cache=not options.no_cache)
             base_run = baseline.simulate(inputs, backend=options.backend)

@@ -1,0 +1,39 @@
+"""Automatic ISA design-space exploration (``repro-dse``).
+
+The compiler is retargetable over parameterized ASIP descriptions;
+this package turns the hand-written processor tables into a search:
+given a kernel corpus and a parameterized ISA space (SIMD width,
+complex/MAC/clip instruction availability, per-op cycle costs,
+register counts), it enumerates candidate processor descriptions,
+fans candidate x kernel evaluations out through the existing
+:class:`~repro.service.CompileService`, scores each design on
+aggregate cycle speedup vs. a hardware-cost model, and emits the
+Pareto-optimal front.
+
+The critical contract, proven by ``tests/test_dse.py`` and the
+hypothesis tier in ``tests/property/test_dse_props.py``: the search is
+**seed-deterministic and merge-exact** — the same seed and budget
+produce a bit-identical front at ``--jobs 1`` and ``--jobs 8``.
+"""
+
+from repro.dse.cost import hardware_cost
+from repro.dse.engine import (CandidateResult, DesignSpaceSearch,
+                              KernelSpec, SearchResult, load_corpus)
+from repro.dse.pareto import dominates, pareto_front
+from repro.dse.space import (DEFAULT_SPACE, DesignPoint, DesignSpace,
+                             load_space)
+
+__all__ = [
+    "CandidateResult",
+    "DEFAULT_SPACE",
+    "DesignPoint",
+    "DesignSpace",
+    "DesignSpaceSearch",
+    "KernelSpec",
+    "SearchResult",
+    "dominates",
+    "hardware_cost",
+    "load_corpus",
+    "load_space",
+    "pareto_front",
+]

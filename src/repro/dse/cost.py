@@ -1,0 +1,57 @@
+"""Hardware-cost model for design-space candidates.
+
+Scores the *area/complexity* side of the Pareto trade-off.  The model
+is a deliberately simple additive gate-count proxy in the style of the
+custom-instruction-selection literature: each optional unit charges a
+fixed cost, datapath width scales linearly (a w-lane SIMD ALU is ~w
+scalar ALUs plus wiring), and faster per-op cycle counts charge extra
+(a 1-cycle MAC is a bigger multiplier array than a 2-cycle one).
+
+All constants are integers and the total is an exact integer sum, so
+cost never introduces float noise into the Pareto front — half of the
+merge-exactness contract (the other half is integer cycle counts).
+
+The absolute scale is arbitrary (think "equivalent scalar-ALU gate
+units"); only relative order matters to dominance.
+"""
+
+from __future__ import annotations
+
+#: Fixed cost of the scalar core every candidate includes.
+BASE_CORE = 1000
+#: Per architectural register (register-file ports dominate).
+PER_REGISTER = 6
+#: Per f32 SIMD lane: lane ALU + load/store path + shuffle wiring.
+#: Charged once for the widest datapath; sub-widths reuse the lanes.
+PER_SIMD_LANE = 180
+#: Scalar complex-arithmetic unit (4 multipliers + adders, shared by
+#: the SIMD complex groups which reuse its lane hardware).
+COMPLEX_UNIT = 340
+#: Scalar fused multiply-accumulate unit.
+MAC_UNIT = 90
+#: Saturating clip unit.
+CLIP_UNIT = 40
+#: Premium for a single-cycle MAC over the 2-cycle baseline array.
+FAST_MAC = 70
+#: Premium for single-cycle SIMD multiplies.
+FAST_MUL = 60
+
+
+def hardware_cost(point) -> int:
+    """Exact integer cost of one :class:`~repro.dse.space.DesignPoint`."""
+    cost = BASE_CORE
+    cost += PER_REGISTER * point.registers
+    if point.simd_f32_lanes > 1:
+        cost += PER_SIMD_LANE * point.simd_f32_lanes
+    if point.complex_unit:
+        cost += COMPLEX_UNIT
+    if point.scalar_mac:
+        cost += MAC_UNIT
+    if point.clip_unit:
+        cost += CLIP_UNIT
+    has_mac_hardware = point.scalar_mac or point.simd_f32_lanes > 1
+    if has_mac_hardware and point.mac_cycles == 1:
+        cost += FAST_MAC
+    if point.simd_f32_lanes > 1 and point.mul_cycles == 1:
+        cost += FAST_MUL
+    return cost

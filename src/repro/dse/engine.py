@@ -1,0 +1,385 @@
+"""The design-space search engine.
+
+Given a kernel corpus and a :class:`~repro.dse.space.DesignSpace`,
+:class:`DesignSpaceSearch` evaluates every candidate on every kernel
+through the existing :class:`~repro.service.CompileService` — one
+``CompileJob`` per (candidate, kernel) with the candidate shipped by
+value as a ``dse:{...}`` processor spec and a ``simulate_seed`` so the
+worker reports exact cycle counts.  Deadlines, crash isolation, retry
+budgets and the content-addressed compilation cache are all the
+service's own machinery; a candidate whose evaluation crashes a worker
+burns only its own retry budget and is excluded from the front, never
+taking the search down.
+
+Scoring: each candidate's **speedup** is the ratio of summed reference
+cycles (scalar-baseline pipeline on ``generic_scalar_dsp``) to summed
+candidate cycles over the corpus — a ratio of exact integers — and its
+**cost** comes from the integer hardware model in
+:mod:`repro.dse.cost`.  The Pareto front is computed by
+:func:`repro.dse.pareto.pareto_front`.
+
+Determinism contract: candidate order is canonical, per-kernel
+simulation seeds derive from the run seed via
+:func:`repro.sim.inputs.mix_seed`, cycle counts are pure functions of
+(job description), and the service returns results in submission
+order — so the front document is byte-identical at any ``--jobs``
+count.  ``tests/test_dse.py`` proves it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.dse.cost import hardware_cost
+from repro.dse.pareto import pareto_front
+from repro.dse.space import DesignPoint, DesignSpace
+from repro.errors import ReproError
+from repro.observe import trace as obs_trace
+from repro.sim.inputs import mix_seed
+
+FRONT_SCHEMA = "repro-dse-front-v1"
+
+#: Reference pipeline: the MATLAB-Coder-style baseline on the plain
+#: scalar target, the same anchor the E1 speedup table uses.
+REFERENCE_PROCESSOR = "generic_scalar_dsp"
+BASELINE_OPTIONS = {"mode": "baseline", "scalar_opt": False,
+                    "inline": False, "simd": False,
+                    "complex_isel": False, "scalar_mac": False}
+
+#: Severity order for folding per-kernel job statuses into one
+#: candidate status (worst wins).
+_STATUS_RANK = {"ok": 0, "error": 1, "timeout": 2, "crash": 3}
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One corpus kernel, described by value."""
+
+    name: str
+    source: str
+    args: "tuple[str, ...]"
+    entry: "str | None" = None
+
+
+@dataclass
+class CandidateResult:
+    """One evaluated design point."""
+
+    point: DesignPoint
+    cost: int
+    status: str = "ok"
+    detail: str = ""
+    #: kernel name -> exact simulated cycle count (``ok`` kernels).
+    cycles: "dict[str, int]" = field(default_factory=dict)
+    #: kernel name -> reference/candidate cycle ratio.
+    speedups: "dict[str, float]" = field(default_factory=dict)
+    #: sum(reference cycles) / sum(candidate cycles) over the corpus.
+    speedup: float = 0.0
+    #: custom-instruction execution counts summed over the corpus.
+    instruction_counts: "dict[str, int]" = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def point_id(self) -> str:
+        return self.point.point_id
+
+    def to_dict(self) -> dict:
+        doc = {
+            "id": self.point_id,
+            "params": self.point.to_dict(),
+            "cost": self.cost,
+            "status": self.status,
+        }
+        if self.status != "ok":
+            doc["detail"] = self.detail
+            return doc
+        doc["cycles"] = {name: self.cycles[name]
+                         for name in sorted(self.cycles)}
+        doc["speedups"] = {name: round(self.speedups[name], 4)
+                           for name in sorted(self.speedups)}
+        doc["speedup"] = round(self.speedup, 4)
+        return doc
+
+
+@dataclass
+class SearchResult:
+    """Everything one search produced."""
+
+    space: DesignSpace
+    seed: int
+    budget: int
+    corpus: "list[KernelSpec]"
+    reference_cycles: "dict[str, int]"
+    candidates: "list[CandidateResult]"
+    front: "list[CandidateResult]"
+    #: Wall-clock seconds (NOT part of the deterministic document).
+    baseline_wall_s: float = 0.0
+    search_wall_s: float = 0.0
+    workers: int = 1
+
+    @property
+    def evaluated(self) -> "list[CandidateResult]":
+        return [c for c in self.candidates if c.ok]
+
+    def document(self) -> dict:
+        """The deterministic front document (``--out``).
+
+        Contains only values that are pure functions of (corpus,
+        space, seed, budget): no wall times, worker counts, attempt
+        counts or pids.  Byte-identical across ``--jobs`` settings.
+        """
+        return {
+            "schema": FRONT_SCHEMA,
+            "space": self.space.to_dict(),
+            "space_size": len(self.space),
+            "seed": self.seed,
+            "budget": self.budget,
+            "corpus": [kernel.name for kernel in self.corpus],
+            "reference": {
+                "processor": REFERENCE_PROCESSOR,
+                "cycles": {name: self.reference_cycles[name]
+                           for name in sorted(self.reference_cycles)},
+            },
+            "evaluated": len(self.evaluated),
+            "candidates": [c.to_dict() for c in self.candidates],
+            "front": [{
+                "id": c.point_id,
+                "cost": c.cost,
+                "speedup": round(c.speedup, 4),
+                "params": c.point.to_dict(),
+            } for c in self.front],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.document(), indent=2) + "\n"
+
+
+def load_corpus(path: str) -> "list[KernelSpec]":
+    """Load a kernel corpus from a manifest.
+
+    ``path`` is a ``manifest.json`` file or a directory containing
+    one, in the same format ``repro-batch`` uses: file name ->
+    ``{"args": "spec,spec", "entry": name}``.  Kernels come back
+    sorted by name so the evaluation order is canonical.
+    """
+    manifest_path = Path(path)
+    if manifest_path.is_dir():
+        manifest_path = manifest_path / "manifest.json"
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except OSError as exc:
+        raise ReproError(f"cannot read corpus manifest "
+                         f"{manifest_path}: {exc}") from None
+    except ValueError as exc:
+        raise ReproError(f"{manifest_path}: not valid JSON: "
+                         f"{exc}") from None
+    if not isinstance(manifest, dict) or not manifest:
+        raise ReproError(f"{manifest_path}: expected a non-empty "
+                         "JSON object mapping file names to "
+                         "{args, entry}")
+    kernels = []
+    for filename in sorted(manifest):
+        fields = manifest[filename]
+        if not isinstance(fields, dict) or "args" not in fields:
+            raise ReproError(f"{manifest_path}: {filename}: entry "
+                             "must be an object with an 'args' field")
+        source_path = manifest_path.parent / filename
+        try:
+            source = source_path.read_text()
+        except OSError as exc:
+            raise ReproError(f"cannot read corpus kernel "
+                             f"{source_path}: {exc}") from None
+        entry = fields.get("entry")
+        args = tuple(s for s in fields["args"].split(",") if s)
+        kernels.append(KernelSpec(name=entry or source_path.stem,
+                                  source=source, args=args,
+                                  entry=entry))
+    return kernels
+
+
+class DesignSpaceSearch:
+    """One search run: corpus x space -> Pareto front.
+
+    Args:
+        corpus: kernels to evaluate every candidate on.
+        space: the parameter space to explore.
+        jobs: service worker count.
+        seed: run seed — drives budget sampling and every kernel's
+            simulation inputs.
+        budget: max candidates to evaluate (0 = the whole space).
+        timeout: per-evaluation deadline in seconds.
+        retries: crash/stall strikes one evaluation may burn.
+        cache_dir: shared on-disk compile cache (None = inherit
+            ``REPRO_CACHE_DIR``).
+        fault_hooks: test-tier fault injection, candidate ``point_id``
+            -> hook name; poisons that candidate's first kernel job.
+    """
+
+    def __init__(self, corpus: "list[KernelSpec]", space: DesignSpace,
+                 *, jobs: int = 1, seed: int = 0, budget: int = 0,
+                 timeout: "float | None" = None, retries: int = 2,
+                 cache_dir: "str | None" = None,
+                 fault_hooks: "dict[str, str] | None" = None):
+        if not corpus:
+            raise ReproError("design-space search needs a non-empty "
+                             "kernel corpus")
+        self.corpus = list(corpus)
+        self.space = space
+        self.jobs = max(1, jobs)
+        self.seed = seed
+        self.budget = budget
+        self.timeout = timeout
+        self.retries = retries
+        self.cache_dir = cache_dir
+        self.fault_hooks = dict(fault_hooks or {})
+        self.reference_cycles: "dict[str, int]" = {}
+
+    # -- internals ------------------------------------------------------
+
+    def _sim_seed(self, kernel: KernelSpec) -> int:
+        return mix_seed(self.seed, kernel.name)
+
+    def _make_job(self, job_id: str, kernel: KernelSpec,
+                  processor: str, options: dict):
+        from repro.service import CompileJob
+
+        return CompileJob(
+            job_id=job_id, source=kernel.source,
+            args=list(kernel.args), entry=kernel.entry,
+            processor=processor, options=dict(options),
+            filename=f"{kernel.name}.m", timeout=self.timeout,
+            simulate_seed=self._sim_seed(kernel))
+
+    def _measure_reference(self, service, session) -> "dict[str, int]":
+        jobs = [self._make_job(f"ref/{kernel.name}", kernel,
+                               REFERENCE_PROCESSOR, BASELINE_OPTIONS)
+                for kernel in self.corpus]
+        batch = service.compile_batch(jobs)
+        session.metrics.merge(batch.metrics_registry())
+        reference = {}
+        for kernel, result in zip(self.corpus, batch.results):
+            if not result.ok or result.cycles is None:
+                raise ReproError(
+                    f"reference evaluation of kernel "
+                    f"{kernel.name!r} failed [{result.status}]: "
+                    f"{result.detail or 'no cycle count'}")
+            reference[kernel.name] = result.cycles
+        return reference
+
+    def _score(self, candidate: DesignPoint,
+               results: list) -> CandidateResult:
+        scored = CandidateResult(point=candidate,
+                                 cost=hardware_cost(candidate))
+        for kernel, result in zip(self.corpus, results):
+            if result.ok and result.cycles is not None:
+                scored.cycles[kernel.name] = result.cycles
+                for name, count in result.instruction_counts.items():
+                    scored.instruction_counts[name] = \
+                        scored.instruction_counts.get(name, 0) + count
+                continue
+            # Fold per-kernel failures into one candidate status
+            # (worst wins); an ``ok`` job with no cycle count is a
+            # malformed result and counts as an error.
+            status = result.status if result.status != "ok" else "error"
+            if _STATUS_RANK.get(status, 3) \
+                    > _STATUS_RANK.get(scored.status, 0):
+                scored.status = status
+            if not scored.detail:
+                scored.detail = (f"{kernel.name}: "
+                                 f"{result.detail or 'no cycle count'}")
+        if scored.status == "ok":
+            ref_total = sum(self.reference_cycles[k.name]
+                            for k in self.corpus)
+            cand_total = sum(scored.cycles[k.name]
+                             for k in self.corpus)
+            scored.speedup = ref_total / max(cand_total, 1)
+            for kernel in self.corpus:
+                scored.speedups[kernel.name] = (
+                    self.reference_cycles[kernel.name]
+                    / max(scored.cycles[kernel.name], 1))
+        return scored
+
+    # -- the search -----------------------------------------------------
+
+    def run(self) -> SearchResult:
+        from repro.service import CompileService
+
+        session = obs_trace.current()
+        candidates = self.space.sample(self.budget, self.seed)
+        session.event("dse.search.start", space=self.space.name,
+                      space_size=len(self.space),
+                      candidates=len(candidates),
+                      kernels=len(self.corpus), seed=self.seed,
+                      budget=self.budget, jobs=self.jobs)
+        session.counter("dse.candidates", len(candidates))
+        session.counter("dse.evaluations",
+                        len(candidates) * len(self.corpus))
+
+        with CompileService(
+                jobs=self.jobs, timeout=self.timeout,
+                max_retries=self.retries, cache_dir=self.cache_dir,
+                allow_test_hooks=bool(self.fault_hooks)) as service:
+            t0 = time.perf_counter()
+            with session.span("dse.reference", "dse"):
+                self.reference_cycles = self._measure_reference(
+                    service, session)
+            baseline_wall = time.perf_counter() - t0
+            session.observe("dse.baseline_s", baseline_wall)
+
+            jobs = []
+            for candidate in candidates:
+                spec = candidate.to_spec()
+                hook = self.fault_hooks.get(candidate.point_id)
+                for index, kernel in enumerate(self.corpus):
+                    job = self._make_job(
+                        f"{candidate.point_id}/{kernel.name}",
+                        kernel, spec, {})
+                    if hook and index == 0:
+                        job.test_hook = hook
+                    jobs.append(job)
+
+            t0 = time.perf_counter()
+            with session.span("dse.evaluate", "dse",
+                              evaluations=len(jobs)):
+                batch = service.compile_batch(jobs)
+            search_wall = time.perf_counter() - t0
+
+        session.metrics.merge(batch.metrics_registry())
+        session.observe("dse.search_s", search_wall)
+
+        per_kernel = len(self.corpus)
+        results = []
+        for index, candidate in enumerate(candidates):
+            window = batch.results[index * per_kernel:
+                                   (index + 1) * per_kernel]
+            scored = self._score(candidate, window)
+            results.append(scored)
+            session.counter(f"dse.candidate_{scored.status}")
+            session.event("dse.progress",
+                          evaluated=index + 1,
+                          total=len(candidates),
+                          candidate=scored.point_id,
+                          status=scored.status,
+                          speedup=round(scored.speedup, 4),
+                          cost=scored.cost)
+
+        front = pareto_front([c for c in results if c.ok])
+        session.event("dse.search.done",
+                      evaluated=sum(1 for c in results if c.ok),
+                      failed=sum(1 for c in results if not c.ok),
+                      front=len(front),
+                      search_wall_s=round(search_wall, 6))
+        session.counter("dse.front_size", len(front))
+        return SearchResult(
+            space=self.space, seed=self.seed, budget=self.budget,
+            corpus=self.corpus,
+            reference_cycles=self.reference_cycles,
+            candidates=results, front=front,
+            baseline_wall_s=baseline_wall,
+            search_wall_s=search_wall, workers=self.jobs)

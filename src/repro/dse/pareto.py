@@ -1,0 +1,78 @@
+"""Dominance and Pareto-front computation over (speedup, cost) scores.
+
+Semantics (pinned by the hypothesis tier in
+``tests/property/test_dse_props.py``):
+
+* a point **dominates** another when it is at least as fast AND at
+  least as cheap, and strictly better on at least one axis;
+* the **front** is the set of evaluated points no evaluated point
+  dominates.  Ties (identical speedup and cost) are kept — neither
+  dominates the other — so equivalent designs are all reported;
+* the front is a pure function of the score *set*: it is invariant
+  under permutation of the evaluation order, and its output order is
+  canonical (cheapest first, then fastest, then id) rather than
+  arrival order.
+
+Dominance is antisymmetric and transitive, which is what makes the
+front well-defined.
+"""
+
+from __future__ import annotations
+
+
+def dominates(a, b) -> bool:
+    """True when score ``a`` Pareto-dominates score ``b``.
+
+    ``a`` and ``b`` expose ``speedup`` (maximized) and ``cost``
+    (minimized) attributes or items.
+    """
+    a_speed, a_cost = _score(a)
+    b_speed, b_cost = _score(b)
+    if a_speed < b_speed or a_cost > b_cost:
+        return False
+    return a_speed > b_speed or a_cost < b_cost
+
+
+def _score(point) -> "tuple[float, float]":
+    if isinstance(point, dict):
+        return point["speedup"], point["cost"]
+    if isinstance(point, tuple):
+        return point[0], point[1]
+    return point.speedup, point.cost
+
+
+def pareto_front(points: list) -> list:
+    """Non-dominated subset, in canonical order.
+
+    O(n log n): sweep by ascending cost (ties: descending speedup);
+    a point joins the front iff its speedup strictly exceeds the best
+    speedup seen at lower-or-equal cost — except exact score ties with
+    a front member, which join too.
+    """
+    def key(point):
+        speed, cost = _score(point)
+        return (cost, -speed, _tiebreak(point))
+
+    ordered = sorted(points, key=key)
+    front = []
+    best_speed: "float | None" = None
+    best_score: "tuple[float, float] | None" = None
+    for point in ordered:
+        speed, cost = _score(point)
+        if best_speed is None or speed > best_speed:
+            front.append(point)
+            best_speed = speed
+            best_score = (speed, cost)
+        elif best_score == (speed, cost):
+            # Exact tie with the current frontier point: neither
+            # dominates the other, keep both.
+            front.append(point)
+    return front
+
+
+def _tiebreak(point):
+    if isinstance(point, dict):
+        return str(point.get("id", ""))
+    if isinstance(point, tuple):
+        return str(point[2]) if len(point) > 2 else ""
+    return str(getattr(point, "point_id", ""))

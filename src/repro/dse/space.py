@@ -1,0 +1,247 @@
+"""Parameterized ISA design spaces and their candidate points.
+
+A :class:`DesignSpace` is the cross product of a few ISA parameter
+axes; a :class:`DesignPoint` is one assignment.  Points materialize to
+full :class:`~repro.asip.model.ProcessorDescription` tables through
+:func:`repro.asip.isa_library.design_processor`, and travel to service
+workers *by value* as ``dse:{...}`` processor specs (sorted-key JSON),
+so candidate evaluation needs no shared state beyond the job record.
+
+Space descriptions are plain JSON documents::
+
+    {
+      "name": "my-space",
+      "simd_f32_lanes": [1, 4, 8, 16],
+      "complex_unit": [true, false],
+      "scalar_mac": [true, false],
+      "registers": [16, 32, 64]
+    }
+
+Every axis is optional and defaults to a singleton; every value is
+validated on load, and a malformed value (SIMD width 0, negative
+cycle cost, ...) raises :class:`~repro.errors.SpaceError` with a
+sourced diagnostic — ``repro-dse`` reports it as a usage error
+(``EXIT_USAGE``), never a traceback.
+
+Enumeration order is canonical (axis order below, values in the order
+the space lists them), which is half of the seed-determinism
+contract: the same space text always yields the same candidate
+sequence, and budget sampling draws from that sequence with
+``random.Random(seed)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import asdict, dataclass
+
+from repro.asip.isa_library import (design_processor, validate_cycle_cost,
+                                    validate_simd_width)
+from repro.errors import IsaError, SpaceError
+
+#: Axis order is the enumeration order and the candidate-id field
+#: order; changing it changes every candidate sequence, so it is part
+#: of the determinism contract.
+AXES = ("simd_f32_lanes", "complex_unit", "scalar_mac", "clip_unit",
+        "mac_cycles", "mul_cycles", "registers")
+
+_AXIS_DEFAULTS = {
+    "simd_f32_lanes": [1],
+    "complex_unit": [False],
+    "scalar_mac": [False],
+    "clip_unit": [False],
+    "mac_cycles": [1],
+    "mul_cycles": [1],
+    "registers": [16],
+}
+
+_BOOL_AXES = ("complex_unit", "scalar_mac", "clip_unit")
+_CYCLE_AXES = ("mac_cycles", "mul_cycles")
+
+#: The shipped default space: 4 widths x complex x MAC x 3 register
+#: files = 48 candidates, the scale the E1-corpus smoke search runs.
+DEFAULT_SPACE_DOC = {
+    "name": "default",
+    "simd_f32_lanes": [1, 4, 8, 16],
+    "complex_unit": [True, False],
+    "scalar_mac": [True, False],
+    "registers": [16, 32, 64],
+}
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate: a full assignment of every axis."""
+
+    simd_f32_lanes: int
+    complex_unit: bool
+    scalar_mac: bool
+    clip_unit: bool
+    mac_cycles: int
+    mul_cycles: int
+    registers: int
+
+    @property
+    def point_id(self) -> str:
+        """Human-readable stable id (doubles as the processor name)."""
+        return (f"w{self.simd_f32_lanes}"
+                f"-cx{int(self.complex_unit)}"
+                f"-mac{int(self.scalar_mac)}"
+                f"-clip{int(self.clip_unit)}"
+                f"-mc{self.mac_cycles}"
+                f"-ml{self.mul_cycles}"
+                f"-r{self.registers}")
+
+    def to_spec(self) -> str:
+        """``dse:{...}`` processor spec for :class:`CompileJob`."""
+        return "dse:" + json.dumps(asdict(self), sort_keys=True,
+                                   separators=(",", ":"))
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "DesignPoint":
+        if spec.startswith("dse:"):
+            spec = spec[4:]
+        try:
+            fields = json.loads(spec)
+        except ValueError:
+            raise IsaError(f"processor spec dse:{spec!r}: not valid "
+                           "JSON") from None
+        if not isinstance(fields, dict) or set(fields) != set(AXES):
+            raise IsaError(f"processor spec dse:{spec!r}: expected an "
+                           f"object with exactly the keys {AXES}")
+        return cls(**fields)
+
+    def to_dict(self) -> dict:
+        return {axis: getattr(self, axis) for axis in AXES}
+
+    def processor(self):
+        """Materialize the full processor description (validated)."""
+        return design_processor(
+            f"dse_{self.point_id}",
+            f32_lanes=self.simd_f32_lanes,
+            complex_unit=self.complex_unit,
+            scalar_mac=self.scalar_mac,
+            clip_unit=self.clip_unit,
+            mac_cycles=self.mac_cycles,
+            mul_cycles=self.mul_cycles,
+            registers=self.registers,
+            source=f"design point {self.point_id}")
+
+
+class DesignSpace:
+    """A validated cross product of ISA parameter axes."""
+
+    def __init__(self, doc: dict, source: str = "<space>"):
+        self.source = source
+        self.doc = doc
+        self.name = doc.get("name", "unnamed")
+        self.axes: dict[str, list] = {}
+        self._validate(doc)
+
+    # -- validation -----------------------------------------------------
+
+    def _fail(self, field: str, message: str) -> None:
+        raise SpaceError(f"{self.source}: {field}: {message}")
+
+    def _validate(self, doc: dict) -> None:
+        if not isinstance(doc, dict):
+            raise SpaceError(f"{self.source}: a space description must "
+                             "be a JSON object")
+        unknown = set(doc) - set(AXES) - {"name", "description"}
+        if unknown:
+            self._fail(sorted(unknown)[0],
+                       f"unknown axis; known axes are {', '.join(AXES)}")
+        if not isinstance(self.name, str) or not self.name:
+            self._fail("name", "must be a non-empty string")
+        for axis in AXES:
+            values = doc.get(axis, _AXIS_DEFAULTS[axis])
+            if not isinstance(values, list) or not values:
+                self._fail(axis, "must be a non-empty list of values")
+            if len(set(map(repr, values))) != len(values):
+                self._fail(axis, f"duplicate values in {values!r}")
+            for value in values:
+                self._validate_value(axis, value)
+            self.axes[axis] = list(values)
+
+    def _validate_value(self, axis: str, value) -> None:
+        label = f"{self.source}: {axis}"
+        if axis == "simd_f32_lanes":
+            try:
+                validate_simd_width(value, source=label)
+            except IsaError as exc:
+                raise SpaceError(str(exc)) from None
+        elif axis in _BOOL_AXES:
+            if not isinstance(value, bool):
+                self._fail(axis, f"must be true or false, got {value!r}")
+        elif axis in _CYCLE_AXES:
+            try:
+                validate_cycle_cost(value, what=axis, source=label)
+            except IsaError as exc:
+                raise SpaceError(str(exc)) from None
+        elif axis == "registers":
+            if isinstance(value, bool) or not isinstance(value, int) \
+                    or not 4 <= value <= 1024:
+                self._fail(axis, "register count must be an integer "
+                                 f"in [4, 1024], got {value!r}")
+
+    # -- enumeration ----------------------------------------------------
+
+    def __len__(self) -> int:
+        size = 1
+        for axis in AXES:
+            size *= len(self.axes[axis])
+        return size
+
+    def enumerate(self) -> "list[DesignPoint]":
+        """Every point, in canonical (axis-major) order."""
+        return [DesignPoint(**dict(zip(AXES, values)))
+                for values in itertools.product(
+                    *(self.axes[axis] for axis in AXES))]
+
+    def sample(self, budget: int, seed: int) -> "list[DesignPoint]":
+        """At most ``budget`` points, deterministically.
+
+        A seeded ``random.Random`` draws from the canonical
+        enumeration; the sample is re-sorted into enumeration order so
+        the evaluation sequence stays canonical regardless of draw
+        order.
+        """
+        points = self.enumerate()
+        if budget <= 0 or budget >= len(points):
+            return points
+        import random
+
+        picked = random.Random(seed).sample(range(len(points)), budget)
+        return [points[index] for index in sorted(picked)]
+
+    def to_dict(self) -> dict:
+        doc = {"name": self.name}
+        if self.doc.get("description"):
+            doc["description"] = self.doc["description"]
+        doc.update({axis: list(self.axes[axis]) for axis in AXES})
+        return doc
+
+
+#: The shipped default space, validated at import time.
+DEFAULT_SPACE = DesignSpace(DEFAULT_SPACE_DOC, source="<default-space>")
+
+
+def load_space(path_or_name: str) -> DesignSpace:
+    """Load a space: the name ``default`` or a JSON file path.
+
+    File errors surface as :class:`SpaceError` so the CLI reports
+    them with the file as the source.
+    """
+    if path_or_name == "default":
+        return DEFAULT_SPACE
+    try:
+        with open(path_or_name) as handle:
+            doc = json.load(handle)
+    except OSError as exc:
+        raise SpaceError(f"{path_or_name}: cannot read space "
+                         f"description: {exc}") from None
+    except ValueError as exc:
+        raise SpaceError(f"{path_or_name}: not valid JSON: {exc}") \
+            from None
+    return DesignSpace(doc, source=path_or_name)

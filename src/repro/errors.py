@@ -65,3 +65,11 @@ class InterpreterError(ReproError):
 
 class IsaError(ReproError):
     """Invalid processor description."""
+
+
+class SpaceError(ReproError):
+    """Invalid design-space description (``repro-dse --space``).
+
+    Carries a sourced diagnostic (file and field) so the CLI can
+    report it as a usage error (``EXIT_USAGE``), never a traceback.
+    """

@@ -36,7 +36,13 @@ class _UnixHTTPConnection(http.client.HTTPConnection):
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         if self.timeout is not None:
             sock.settimeout(self.timeout)
-        sock.connect(self._unix_path)
+        try:
+            sock.connect(self._unix_path)
+        except BaseException:
+            # A failed dial must not leak the socket object (surfaced
+            # as a ResourceWarning by the reconnect test tier).
+            sock.close()
+            raise
         self.sock = sock
 
 

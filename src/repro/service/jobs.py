@@ -61,6 +61,17 @@ class CompileJob:
     #: a missing host C compiler or a build failure is recorded in the
     #: result's counters, never fails the job.
     warm_native: bool = False
+    #: When set, the worker also runs the compiled entry on
+    #: deterministic random inputs drawn from this seed (see
+    #: :mod:`repro.sim.inputs`) and reports the cycle count in
+    #: ``JobResult.cycles``.  The design-space-exploration engine uses
+    #: this to fan candidate evaluations out: cycle counts are a pure
+    #: function of ``(program, processor, seed)``, so results are
+    #: identical at any worker count.
+    simulate_seed: "int | None" = None
+    #: Simulation backend for ``simulate_seed`` (``compiled`` or
+    #: ``reference``; both charge identical cycles).
+    simulate_backend: str = "compiled"
     #: Fault-injection hook for the concurrency test tier; honored by
     #: the worker only when the service was built with
     #: ``allow_test_hooks=True``.  One of ``"crash"`` (``os._exit``),
@@ -92,6 +103,15 @@ class JobResult:
     #: ``time.time()`` in the worker when the attempt started; the
     #: parent uses it to re-base worker spans onto its own timeline.
     wall_origin: float = 0.0
+    #: Total simulated cycle count (only when the job carried a
+    #: ``simulate_seed``); deterministic for a given job description.
+    cycles: "int | None" = None
+    #: Custom-instruction execution counts from the simulated run
+    #: (``simulate_seed`` jobs only).
+    instruction_counts: dict = field(default_factory=dict)
+    #: Wall-clock seconds of the simulation run (0.0 when the job did
+    #: not simulate).
+    sim_wall_s: float = 0.0
     stage_times: dict = field(default_factory=dict)
     pass_stats: dict = field(default_factory=dict)
     #: ``Remark.to_dict()`` records from the worker's trace session.
@@ -127,6 +147,8 @@ class JobResult:
             "worker_pid": self.worker_pid,
             "wall_s": round(self.wall_s, 6),
             "queue_wait_s": round(self.queue_wait_s, 6),
+            "cycles": self.cycles,
+            "sim_wall_s": round(self.sim_wall_s, 6),
             "stage_times_s": dict(self.stage_times),
             "pass_stats": dict(self.pass_stats),
             "remarks": list(self.remarks),
@@ -138,12 +160,29 @@ class JobResult:
 def resolve_processor(spec: str):
     """Processor spec -> :class:`ProcessorDescription`.
 
-    Accepts a shipped description name (``vliw_simd_dsp``) or the
+    Accepts a shipped description name (``vliw_simd_dsp``), the
     parametric ``simd_width:N`` family used by the width-sweep
-    benchmarks.
+    benchmarks, or a ``dse:{...}`` design-point spec (JSON-encoded
+    :class:`~repro.dse.space.DesignPoint` parameters) — the by-value
+    form the design-space-exploration engine ships candidates to
+    workers in.
+
+    Raises :class:`~repro.errors.IsaError` (malformed parameter
+    values, e.g. SIMD width 0 or a negative cycle cost), ``ValueError``
+    (unparseable spec syntax) or ``KeyError`` (unknown shipped name).
     """
     from repro.asip.isa_library import load_processor, simd_dsp_with_width
+    from repro.errors import IsaError
 
     if spec.startswith("simd_width:"):
-        return simd_dsp_with_width(int(spec.split(":", 1)[1]))
+        text = spec.split(":", 1)[1]
+        try:
+            width = int(text)
+        except ValueError:
+            raise IsaError(f"processor spec {spec!r}: SIMD width must "
+                           f"be an integer, got {text!r}") from None
+        return simd_dsp_with_width(width)
+    if spec.startswith("dse:"):
+        from repro.dse.space import DesignPoint
+        return DesignPoint.from_spec(spec).processor()
     return load_processor(spec)

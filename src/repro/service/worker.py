@@ -105,6 +105,26 @@ def _warm_native(compiled, session) -> None:
         session.counter("native.warm_failed")
 
 
+def _simulate_job(job: CompileJob, compiled, result: JobResult,
+                  session) -> None:
+    """Run the compiled entry on deterministic seed-derived inputs and
+    record the cycle count.  Cycle totals are a pure function of the
+    job description, so a batch's counts are identical at any worker
+    count — the merge-exactness the DSE engine's Pareto fronts build
+    on."""
+    from repro.sim.inputs import random_inputs
+
+    t0 = time.perf_counter()
+    inputs = random_inputs(compiled.module.entry_function,
+                           job.simulate_seed)
+    run = compiled.simulate(inputs, backend=job.simulate_backend)
+    result.sim_wall_s = time.perf_counter() - t0
+    result.cycles = run.report.total
+    result.instruction_counts = dict(run.report.instruction_counts)
+    session.observe("service.sim_s", result.sim_wall_s)
+    session.counter("service.simulations")
+
+
 def run_job(job: CompileJob, allow_test_hooks: bool = False) -> JobResult:
     """Execute one job; always returns (never raises) unless the
     process itself dies."""
@@ -144,6 +164,8 @@ def run_job(job: CompileJob, allow_test_hooks: bool = False) -> JobResult:
                 options=CompilerOptions(**job.options),
                 filename=job.filename)
             result.c_source = compiled.c_source()
+            if job.simulate_seed is not None:
+                _simulate_job(job, compiled, result, session)
         result.entry_name = compiled.entry_name
         result.stage_times = dict(compiled.stage_times)
         result.pass_stats = dict(compiled.pass_stats)

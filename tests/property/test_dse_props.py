@@ -1,0 +1,81 @@
+"""Property tier for Pareto dominance and front computation.
+
+These pin the algebra ``repro-dse`` leans on: dominance is a strict
+partial order (irreflexive, antisymmetric, transitive), the front is
+exactly the non-dominated subset, every point off the front is
+dominated by someone on it, and the front is a pure function of the
+score *set* — invariant under permutation of evaluation order.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import dominates, pareto_front
+
+# Small integer grids force plenty of exact ties and duplicate scores,
+# the cases a float-only strategy would almost never generate.
+_speed = st.one_of(st.integers(min_value=0, max_value=6).map(float),
+                   st.floats(min_value=0.1, max_value=8.0,
+                             allow_nan=False, allow_infinity=False))
+_cost = st.integers(min_value=0, max_value=9)
+
+_point = st.tuples(_speed, _cost)
+_points = st.lists(
+    st.tuples(_speed, _cost, st.integers(min_value=0, max_value=99)),
+    min_size=0, max_size=24).map(
+        lambda rows: [(s, c, f"p{i}-{tag}")
+                      for i, (s, c, tag) in enumerate(rows)])
+
+
+@given(_point)
+@settings(max_examples=100, deadline=None)
+def test_dominance_irreflexive(a):
+    assert not dominates(a, a)
+
+
+@given(_point, _point)
+@settings(max_examples=200, deadline=None)
+def test_dominance_antisymmetric(a, b):
+    assert not (dominates(a, b) and dominates(b, a))
+
+
+@given(_point, _point, _point)
+@settings(max_examples=300, deadline=None)
+def test_dominance_transitive(a, b, c):
+    if dominates(a, b) and dominates(b, c):
+        assert dominates(a, c)
+
+
+@given(_points)
+@settings(max_examples=200, deadline=None)
+def test_front_is_exactly_the_nondominated_subset(points):
+    front = pareto_front(points)
+    front_set = set(front)
+    for point in front:
+        assert not any(dominates(other, point) for other in points)
+    # Completeness: every non-dominated point made the front, and
+    # every point off the front is dominated by a front member.
+    for point in points:
+        if not any(dominates(other, point) for other in points):
+            assert point in front_set
+        elif point not in front_set:
+            assert any(dominates(member, point) for member in front)
+
+
+@given(_points, st.randoms(use_true_random=False))
+@settings(max_examples=150, deadline=None)
+def test_front_invariant_under_evaluation_order(points, rng):
+    shuffled = list(points)
+    rng.shuffle(shuffled)
+    assert pareto_front(shuffled) == pareto_front(points)
+
+
+@given(_points)
+@settings(max_examples=100, deadline=None)
+def test_front_idempotent_and_canonically_ordered(points):
+    front = pareto_front(points)
+    assert pareto_front(front) == front
+    keys = [(cost, -speed, name) for speed, cost, name in front]
+    assert keys == sorted(keys)

@@ -433,3 +433,140 @@ def test_fuzz_jobs_must_be_positive(capsys):
     with pytest.raises(SystemExit) as info:
         fuzz_main(["--count", "1", "--jobs", "0"])
     assert info.value.code == 2
+
+
+# ---------------------------------------------------------------------
+# Parametric processor specs: malformed values are usage errors
+# ---------------------------------------------------------------------
+
+def test_parametric_simd_width_compiles(fir_file, capsys):
+    assert main([str(fir_file), "--args", "double:1x16,double:1x4",
+                 "--processor", "simd_width:8", "-o", "/dev/null"]) == 0
+
+
+def test_simd_width_zero_is_usage_error(fir_file, capsys):
+    with pytest.raises(SystemExit) as info:
+        main([str(fir_file), "--args", "double:1x16,double:1x4",
+              "--processor", "simd_width:0"])
+    assert info.value.code == 2
+    err = capsys.readouterr().err
+    assert "simd_width:0" in err and "SIMD width" in err
+    assert "Traceback" not in err
+
+
+def test_simd_width_garbage_is_usage_error(fir_file, capsys):
+    with pytest.raises(SystemExit) as info:
+        main([str(fir_file), "--args", "double:1x16,double:1x4",
+              "--processor", "simd_width:banana"])
+    assert info.value.code == 2
+    assert "must be an integer" in capsys.readouterr().err
+
+
+def test_malformed_dse_point_is_usage_error(fir_file, capsys):
+    bad = ('dse:{"simd_f32_lanes":4,"complex_unit":false,'
+           '"scalar_mac":false,"clip_unit":false,"mac_cycles":-1,'
+           '"mul_cycles":1,"registers":16}')
+    with pytest.raises(SystemExit) as info:
+        main([str(fir_file), "--args", "double:1x16,double:1x4",
+              "--processor", bad])
+    assert info.value.code == 2
+    err = capsys.readouterr().err
+    assert "mac cycle" in err or "mac_cycles" in err
+    assert "Traceback" not in err
+
+
+def test_describe_parametric_processor(capsys):
+    assert main(["--describe-processor",
+                 "--processor", "simd_width:4"]) == 0
+    assert "vmac_f32x4" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------
+# repro-dse exit-code matrix
+# ---------------------------------------------------------------------
+
+@pytest.fixture
+def dse_corpus(tmp_path):
+    import json as _json
+
+    kernel = tmp_path / "tiny.m"
+    kernel.write_text("function y = tiny(x)\ny = x + 1.0;\nend\n")
+    (tmp_path / "manifest.json").write_text(_json.dumps(
+        {"tiny.m": {"args": "double:1x8", "entry": "tiny"}}))
+    return tmp_path
+
+
+def test_dse_smoke_run_writes_front(dse_corpus, tmp_path, capsys):
+    import json as _json
+
+    from repro.dse.cli import main as dse_main
+
+    space = tmp_path / "space.json"
+    space.write_text(_json.dumps({"name": "one",
+                                  "scalar_mac": [True, False]}))
+    out = tmp_path / "front.json"
+    assert dse_main(["--corpus", str(dse_corpus),
+                     "--space", str(space),
+                     "--out", str(out), "--quiet"]) == 0
+    doc = _json.loads(out.read_text())
+    assert doc["schema"] == "repro-dse-front-v1"
+    assert doc["evaluated"] == 2 and doc["front"]
+
+
+def test_dse_malformed_width_is_usage_error(dse_corpus, tmp_path, capsys):
+    import json as _json
+
+    from repro.dse.cli import main as dse_main
+
+    space = tmp_path / "space.json"
+    space.write_text(_json.dumps({"name": "bad",
+                                  "simd_f32_lanes": [0, 4]}))
+    assert dse_main(["--corpus", str(dse_corpus),
+                     "--space", str(space)]) == 2
+    err = capsys.readouterr().err
+    assert str(space) in err and "SIMD width" in err
+    assert "Traceback" not in err
+
+
+def test_dse_negative_cycle_cost_is_usage_error(dse_corpus, tmp_path,
+                                                capsys):
+    import json as _json
+
+    from repro.dse.cli import main as dse_main
+
+    space = tmp_path / "space.json"
+    space.write_text(_json.dumps({"name": "bad", "mac_cycles": [-1]}))
+    assert dse_main(["--corpus", str(dse_corpus),
+                     "--space", str(space)]) == 2
+    err = capsys.readouterr().err
+    assert "mac_cycles" in err and "Traceback" not in err
+
+
+def test_dse_bad_jobs_and_budget_are_usage_errors(dse_corpus, capsys):
+    from repro.dse.cli import main as dse_main
+
+    assert dse_main(["--corpus", str(dse_corpus), "--jobs", "0"]) == 2
+    assert dse_main(["--corpus", str(dse_corpus), "--budget", "-1"]) == 2
+    assert "Traceback" not in capsys.readouterr().err
+
+
+def test_dse_unreadable_corpus_is_failure(tmp_path, capsys):
+    from repro.dse.cli import main as dse_main
+
+    assert dse_main(["--corpus", str(tmp_path / "absent")]) == 1
+    err = capsys.readouterr().err
+    assert "cannot read corpus" in err and "Traceback" not in err
+
+
+def test_dse_internal_error_exits_3(dse_corpus, capsys, monkeypatch):
+    import repro.dse.engine as dse_engine
+
+    class Boom:
+        def __init__(self, *args, **kwargs):
+            raise RuntimeError("injected defect")
+
+    monkeypatch.setattr(dse_engine, "DesignSpaceSearch", Boom)
+    from repro.dse.cli import main as dse_main
+
+    assert dse_main(["--corpus", str(dse_corpus)]) == 3
+    assert "internal error" in capsys.readouterr().err

@@ -1,0 +1,291 @@
+"""Determinism tier for the design-space-exploration engine.
+
+The contract under test (ISSUE PR 9): a search is **seed-deterministic
+and merge-exact** — the same corpus, space, seed and budget produce a
+byte-identical Pareto-front document at any worker count — and a
+candidate whose evaluation crashes a worker burns only its own retry
+budget, leaving the front over the survivors unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dse import (DEFAULT_SPACE, DesignPoint, DesignSpace,
+                       DesignSpaceSearch, KernelSpec, dominates,
+                       hardware_cost, load_corpus, load_space,
+                       pareto_front)
+from repro.errors import IsaError, ReproError, SpaceError
+
+pytestmark = pytest.mark.timeout(180)
+
+FIR3 = """function y = fir3(x, h)
+y = zeros(size(x));
+for n = 3:length(x)
+  y(n) = h(1)*x(n) + h(2)*x(n-1) + h(3)*x(n-2);
+end
+end
+"""
+
+SCALE = """function y = scale(x, g)
+y = g * x;
+end
+"""
+
+CORPUS = [
+    KernelSpec(name="fir3", source=FIR3,
+               args=("double:1x32", "double:1x3"), entry="fir3"),
+    KernelSpec(name="scale", source=SCALE,
+               args=("double:1x16", "double"), entry="scale"),
+]
+
+SPACE = DesignSpace({
+    "name": "test",
+    "simd_f32_lanes": [1, 4],
+    "scalar_mac": [True, False],
+}, source="<test-space>")
+
+
+def _search(**overrides) -> DesignSpaceSearch:
+    fields = dict(corpus=CORPUS, space=SPACE, jobs=1, seed=7)
+    fields.update(overrides)
+    return DesignSpaceSearch(fields.pop("corpus"), fields.pop("space"),
+                             **fields)
+
+
+# ---------------------------------------------------------------------
+# Seed determinism / merge exactness
+# ---------------------------------------------------------------------
+
+def test_front_byte_identical_across_worker_counts(tmp_path):
+    serial = _search(jobs=1, cache_dir=str(tmp_path / "c1")).run()
+    fanned = _search(jobs=4, cache_dir=str(tmp_path / "c4")).run()
+    assert serial.to_json() == fanned.to_json()
+    assert serial.front, "the test space must produce a front"
+
+
+def test_document_is_valid_deterministic_json(tmp_path):
+    result = _search(cache_dir=str(tmp_path)).run()
+    doc = json.loads(result.to_json())
+    assert doc["schema"] == "repro-dse-front-v1"
+    assert doc["seed"] == 7
+    assert doc["corpus"] == ["fir3", "scale"]
+    assert doc["evaluated"] == len(SPACE)
+    assert doc["reference"]["cycles"].keys() == {"fir3", "scale"}
+    # Nothing run-dependent may leak into the document.
+    text = result.to_json()
+    for banned in ("wall", "attempts", "pid", "workers"):
+        assert banned not in text
+    front_ids = [entry["id"] for entry in doc["front"]]
+    assert len(front_ids) == len(set(front_ids))
+    # Canonical front order: cheapest first.
+    costs = [entry["cost"] for entry in doc["front"]]
+    assert costs == sorted(costs)
+
+
+def test_same_seed_same_front_budget_sampled(tmp_path):
+    one = _search(budget=3, seed=5, cache_dir=str(tmp_path)).run()
+    two = _search(budget=3, seed=5, cache_dir=str(tmp_path)).run()
+    assert one.to_json() == two.to_json()
+    assert len(one.candidates) == 3
+
+
+def test_mac_and_simd_actually_help(tmp_path):
+    """The search must measure real ISA effects, not noise: the
+    MAC-equipped point beats the bare scalar on the FIR kernel, and
+    the SIMD point beats scalar on the element-wise kernel."""
+    result = _search(cache_dir=str(tmp_path)).run()
+    by_id = {c.point_id: c for c in result.candidates}
+    scalar = by_id["w1-cx0-mac0-clip0-mc1-ml1-r16"]
+    mac = by_id["w1-cx0-mac1-clip0-mc1-ml1-r16"]
+    simd = by_id["w4-cx0-mac0-clip0-mc1-ml1-r16"]
+    assert mac.cycles["fir3"] < scalar.cycles["fir3"]
+    assert simd.cycles["scale"] < scalar.cycles["scale"]
+
+
+# ---------------------------------------------------------------------
+# Crash isolation
+# ---------------------------------------------------------------------
+
+def test_injected_crash_burns_only_that_candidate(tmp_path):
+    victim = "w4-cx0-mac1-clip0-mc1-ml1-r16"
+    clean = _search(jobs=2, cache_dir=str(tmp_path / "a")).run()
+    hurt = _search(jobs=2, cache_dir=str(tmp_path / "b"),
+                   retries=1, fault_hooks={victim: "crash"}).run()
+
+    by_id = {c.point_id: c for c in hurt.candidates}
+    assert by_id[victim].status == "crash"
+    assert victim in by_id[victim].detail or by_id[victim].detail
+    # Every other candidate still evaluated ok: innocent wave-mates
+    # were exonerated by the isolation rounds, their budgets intact.
+    for candidate in hurt.candidates:
+        if candidate.point_id != victim:
+            assert candidate.ok, candidate.detail
+
+    # Survivors score identically to the clean run...
+    clean_by_id = {c.point_id: c for c in clean.candidates}
+    for candidate in hurt.evaluated:
+        assert candidate.cycles == clean_by_id[candidate.point_id].cycles
+    # ...and the front is exactly the clean front minus the victim.
+    expected = pareto_front([c for c in clean.candidates
+                             if c.ok and c.point_id != victim])
+    assert [c.point_id for c in hurt.front] == \
+        [c.point_id for c in expected]
+    assert all(c.point_id != victim for c in hurt.front)
+
+
+def test_reference_failure_is_a_repro_error(tmp_path):
+    broken = [KernelSpec(name="broken", source="function y = f(x)\n"
+                         "y = no_such_builtin(x);\nend",
+                         args=("double:1x8",), entry=None)]
+    search = DesignSpaceSearch(broken, SPACE, seed=1,
+                               cache_dir=str(tmp_path))
+    with pytest.raises(ReproError, match="broken"):
+        search.run()
+
+
+def test_empty_corpus_rejected():
+    with pytest.raises(ReproError, match="non-empty"):
+        DesignSpaceSearch([], SPACE)
+
+
+# ---------------------------------------------------------------------
+# Space validation and sampling
+# ---------------------------------------------------------------------
+
+def test_default_space_is_48_candidates():
+    assert len(DEFAULT_SPACE) == 48
+    points = DEFAULT_SPACE.enumerate()
+    assert len(points) == len({p.point_id for p in points})
+
+
+@pytest.mark.parametrize("doc,match", [
+    ({"simd_f32_lanes": [0]}, "SIMD width"),
+    ({"simd_f32_lanes": [3]}, "power of two"),
+    ({"mac_cycles": [-1]}, "mac_cycles"),
+    ({"mul_cycles": [0]}, "mul_cycles"),
+    ({"complex_unit": [1]}, "true or false"),
+    ({"registers": [2]}, "register count"),
+    ({"registers": [True]}, "register count"),
+    ({"simd_f32_lanes": []}, "non-empty"),
+    ({"simd_f32_lanes": [4, 4]}, "duplicate"),
+    ({"banana": [1]}, "unknown axis"),
+])
+def test_malformed_space_is_a_sourced_space_error(doc, match):
+    doc = {"name": "bad", **doc}
+    with pytest.raises(SpaceError, match=match) as info:
+        DesignSpace(doc, source="space.json")
+    assert "space.json" in str(info.value)
+
+
+def test_load_space_missing_file_is_space_error(tmp_path):
+    with pytest.raises(SpaceError, match="cannot read"):
+        load_space(str(tmp_path / "nope.json"))
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(SpaceError, match="not valid JSON"):
+        load_space(str(bad))
+
+
+def test_sample_is_deterministic_subset_in_canonical_order():
+    all_points = DEFAULT_SPACE.enumerate()
+    order = {p.point_id: i for i, p in enumerate(all_points)}
+    a = DEFAULT_SPACE.sample(10, seed=3)
+    b = DEFAULT_SPACE.sample(10, seed=3)
+    c = DEFAULT_SPACE.sample(10, seed=4)
+    assert [p.point_id for p in a] == [p.point_id for p in b]
+    assert a != c
+    indices = [order[p.point_id] for p in a]
+    assert indices == sorted(indices)
+    assert DEFAULT_SPACE.sample(0, seed=3) == all_points
+    assert DEFAULT_SPACE.sample(999, seed=3) == all_points
+
+
+def test_design_point_spec_roundtrip():
+    point = DEFAULT_SPACE.enumerate()[17]
+    again = DesignPoint.from_spec(point.to_spec())
+    assert again == point
+    assert again.to_spec() == point.to_spec()
+    with pytest.raises(IsaError, match="not valid JSON"):
+        DesignPoint.from_spec("dse:{nope")
+    with pytest.raises(IsaError, match="keys"):
+        DesignPoint.from_spec('dse:{"simd_f32_lanes": 4}')
+
+
+def test_design_point_materializes_expected_isa():
+    point = DesignPoint(simd_f32_lanes=4, complex_unit=True,
+                        scalar_mac=True, clip_unit=True,
+                        mac_cycles=1, mul_cycles=2, registers=32)
+    processor = point.processor()
+    names = {instr.name for instr in processor.instructions}
+    assert "vadd_f32x4" in names
+    assert "cmul_c128" in names
+    assert "mac_f64" in names
+    assert "clip_f64" in names
+    assert "registers=32" in processor.description
+    bad = DesignPoint(simd_f32_lanes=0, complex_unit=False,
+                      scalar_mac=False, clip_unit=False,
+                      mac_cycles=1, mul_cycles=1, registers=16)
+    with pytest.raises(IsaError, match="SIMD width"):
+        bad.processor()
+
+
+# ---------------------------------------------------------------------
+# Cost model and corpus loading
+# ---------------------------------------------------------------------
+
+def test_cost_model_monotone_in_hardware():
+    base = DesignPoint(simd_f32_lanes=1, complex_unit=False,
+                       scalar_mac=False, clip_unit=False,
+                       mac_cycles=2, mul_cycles=2, registers=16)
+
+    def variant(**fields):
+        return DesignPoint(**{**base.to_dict(), **fields})
+
+    assert isinstance(hardware_cost(base), int)
+    assert hardware_cost(variant(simd_f32_lanes=4)) > hardware_cost(base)
+    assert hardware_cost(variant(simd_f32_lanes=8)) > \
+        hardware_cost(variant(simd_f32_lanes=4))
+    assert hardware_cost(variant(complex_unit=True)) > hardware_cost(base)
+    assert hardware_cost(variant(scalar_mac=True)) > hardware_cost(base)
+    assert hardware_cost(variant(clip_unit=True)) > hardware_cost(base)
+    assert hardware_cost(variant(registers=64)) > hardware_cost(base)
+    # A faster MAC only costs extra when there is MAC hardware to widen.
+    assert hardware_cost(variant(mac_cycles=1)) == hardware_cost(base)
+    assert hardware_cost(variant(scalar_mac=True, mac_cycles=1)) > \
+        hardware_cost(variant(scalar_mac=True))
+
+
+def test_dominates_basics():
+    assert dominates({"speedup": 2.0, "cost": 100},
+                     {"speedup": 1.0, "cost": 100})
+    assert dominates({"speedup": 1.0, "cost": 50},
+                     {"speedup": 1.0, "cost": 100})
+    assert not dominates({"speedup": 1.0, "cost": 100},
+                         {"speedup": 1.0, "cost": 100})
+    assert not dominates({"speedup": 2.0, "cost": 200},
+                         {"speedup": 1.0, "cost": 100})
+
+
+def test_load_corpus_sorted_and_diagnosed(tmp_path):
+    (tmp_path / "b.m").write_text(SCALE)
+    (tmp_path / "a.m").write_text(FIR3)
+    (tmp_path / "manifest.json").write_text(json.dumps({
+        "b.m": {"args": "double:1x16,double", "entry": "scale"},
+        "a.m": {"args": "double:1x32,double:1x3", "entry": "fir3"},
+    }))
+    kernels = load_corpus(str(tmp_path))
+    assert [k.name for k in kernels] == ["fir3", "scale"]
+    assert kernels[0].args == ("double:1x32", "double:1x3")
+
+    with pytest.raises(ReproError, match="cannot read"):
+        load_corpus(str(tmp_path / "nope"))
+    (tmp_path / "bad.json").write_text("[1]")
+    with pytest.raises(ReproError, match="JSON object"):
+        load_corpus(str(tmp_path / "bad.json"))
+    (tmp_path / "manifest.json").write_text(json.dumps({
+        "missing.m": {"args": "double:1x8"}}))
+    with pytest.raises(ReproError, match="missing.m"):
+        load_corpus(str(tmp_path))

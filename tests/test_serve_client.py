@@ -1,0 +1,109 @@
+"""Reconnect-edge tier for :class:`repro.serve.ServeClient`.
+
+The client promises exactly one transparent reconnect: a daemon
+restart between two calls looks like one slow call, a daemon that is
+really gone raises :class:`ServeUnavailable` on the second consecutive
+transport failure, and ``wait_ready`` bounds its polling by the given
+timeout.  These edges only show up across a real socket, so each test
+drives a live daemon + HTTP server on a unix socket.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.serve import ServeClient
+from repro.serve.client import ServeUnavailable
+
+from test_serve import FIR, FIR_ARGS, _HTTPFixture
+
+pytestmark = pytest.mark.timeout(180)
+
+
+def test_daemon_restart_mid_session_recovers(tmp_path):
+    """A restart between calls is absorbed by the one transparent
+    reconnect: the stale keep-alive connection fails, the client
+    redials, and the caller sees an ordinary reply."""
+    fixture = _HTTPFixture(tmp_path, workers=1, queue_depth=4)
+    socket_path = fixture.socket_path
+    client = ServeClient(path=socket_path, timeout=30.0)
+    try:
+        assert client.wait_ready(timeout=10.0)["status"] == "ok"
+        first = client.compile(FIR, FIR_ARGS)
+        assert first["status"] == "ok"
+
+        fixture.close()
+        # A fresh daemon on the same path (the old bind must be
+        # unlinked first, as a restarting deployment would).
+        os.unlink(socket_path)
+        fixture = _HTTPFixture(tmp_path, workers=1, queue_depth=4)
+        assert fixture.socket_path == socket_path
+
+        second = client.compile(FIR, FIR_ARGS)
+        assert second["status"] == "ok"
+        assert second["c_source"] == first["c_source"]
+    finally:
+        client.close()
+        fixture.close()
+
+
+def test_second_consecutive_failure_raises_cleanly(tmp_path):
+    """When the daemon is really gone, both attempts fail and the
+    client raises ServeUnavailable — not a bare socket error — and
+    stays usable for a later retry."""
+    fixture = _HTTPFixture(tmp_path, workers=1, queue_depth=4)
+    socket_path = fixture.socket_path
+    client = ServeClient(path=socket_path, timeout=5.0)
+    try:
+        assert client.healthz()["status"] == "ok"
+        fixture.close()
+        os.unlink(socket_path)
+
+        with pytest.raises(ServeUnavailable) as info:
+            client.healthz()
+        assert "daemon unreachable" in str(info.value)
+        # The failed attempts tore the cached connection down, so a
+        # comeback daemon is reachable again through the same client.
+        fixture = _HTTPFixture(tmp_path, workers=1, queue_depth=4)
+        assert client.healthz()["status"] == "ok"
+    finally:
+        client.close()
+        fixture.close()
+
+
+def test_never_started_daemon_is_unavailable(tmp_path):
+    client = ServeClient(path=str(tmp_path / "absent.sock"), timeout=5.0)
+    with pytest.raises(ServeUnavailable):
+        client.healthz()
+
+
+def test_wait_ready_timeout_is_bounded(tmp_path):
+    client = ServeClient(path=str(tmp_path / "absent.sock"), timeout=5.0)
+    t0 = time.monotonic()
+    with pytest.raises(ServeUnavailable, match="not ready after"):
+        client.wait_ready(timeout=0.4, interval=0.05)
+    elapsed = time.monotonic() - t0
+    assert 0.4 <= elapsed < 10.0
+    # A zero timeout never polls at all and still raises the
+    # structured error rather than looping forever.
+    with pytest.raises(ServeUnavailable, match="not ready"):
+        client.wait_ready(timeout=0.0)
+
+
+def test_wait_ready_returns_health_when_up(tmp_path):
+    fixture = _HTTPFixture(tmp_path, workers=1, queue_depth=4)
+    try:
+        with ServeClient(path=fixture.socket_path, timeout=10.0) as client:
+            reply = client.wait_ready(timeout=10.0)
+            assert reply["status"] == "ok"
+            assert reply["http_status"] == 200
+    finally:
+        fixture.close()
+
+
+def test_client_needs_an_address():
+    with pytest.raises(ValueError, match="unix socket path or a TCP"):
+        ServeClient()
