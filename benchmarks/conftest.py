@@ -63,6 +63,10 @@ _PREWARM_SPECS = {
     "fft_spectrum": ["double:1x128"],
     "matmul": ["single:32x32", "single:32x32"],
     "xcorr_kernel": ["single:1x128", "single:1x256"],
+    "channel_est": ["cdouble:1x128", "cdouble:1x128"],
+    "qr_gs": ["double:12x12"],
+    "inv3x3": ["double:9x64"],
+    "bf_weights": ["cdouble:1x64", "double:1x1"],
 }
 
 _BASELINE_OPTIONS = {"mode": "baseline", "scalar_opt": False,

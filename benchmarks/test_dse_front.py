@@ -1,6 +1,6 @@
 """Design-space exploration over the E1 corpus (ISSUE PR 9).
 
-Runs the shipped 48-candidate default space over the six example
+Runs the shipped 48-candidate default space over the ten example
 kernels through the compile service (``jobs=4``) and records:
 
 * the paper-style Pareto-front table (design, cost, speedup),
@@ -31,7 +31,7 @@ JOBS = 4
 
 def test_default_space_front_over_e1_corpus(record_row, record_dse_bench):
     corpus = load_corpus(CORPUS_DIR)
-    assert len(corpus) == 6
+    assert len(corpus) == 10
 
     session = TraceSession()
     with obs_trace.use(session):

@@ -72,7 +72,7 @@ def test_e2_breakdown(kernel, benchmark, record_row):
     assert cycles["full"] <= min(cycles["+SIMD"],
                                  cycles["+complex"]) * 1.02
 
-    is_complex_kernel = kernel in ("cdot", "fft")
+    is_complex_kernel = kernel in ("cdot", "fft", "channel_est")
     simd_gain = cycles["+scalar-opt"] / cycles["+SIMD"]
     complex_gain = cycles["+scalar-opt"] / cycles["+complex"]
     if kernel in ("fir", "xcorr", "matmul"):

@@ -1,11 +1,14 @@
 """Benchmark kernel registry shared by every experiment (E1-E6).
 
-The six DSP kernels match the paper's evaluation style ("six DSP
+The first six DSP kernels match the paper's evaluation style ("six DSP
 benchmarks"): streaming filters, complex arithmetic, a transform, and
 dense linear algebra, in the precisions a DSP ASIP would run them.
-Each workload knows how to build its argument type specs, generate
-deterministic inputs, and compute a golden reference via the
-numpy-backed MATLAB interpreter.
+The last four are 5G base-station kernels (channel estimation, QR,
+batched 3x3 inversion, beamforming weights) that exercise user-defined
+functions, multi-return calls, and while loops.  Each workload knows
+how to build its argument type specs, generate deterministic inputs,
+and compute a golden reference via the numpy-backed MATLAB
+interpreter.
 """
 
 from __future__ import annotations
@@ -61,7 +64,7 @@ def _rand(rng: np.random.Generator, shape, dtype=np.float64,
 
 
 def default_workloads(scale: int = 1) -> list[Workload]:
-    """The six paper-style benchmarks at the default evaluation sizes.
+    """The ten benchmarks at the default evaluation sizes.
 
     ``scale`` multiplies the data sizes (used by sweep experiments).
     """
@@ -135,6 +138,56 @@ def default_workloads(scale: int = 1) -> list[Workload]:
                 _rand(rng, (1, n // 2), np.float32),
                 _rand(rng, (1, n), np.float32)],
             tolerance=2e-3,
+        ),
+        Workload(
+            name="channel_est",
+            entry="channel_est",
+            description=f"LS channel estimation, {fft_n} pilot subcarriers "
+                        "(complex double)",
+            arg_types=[arg((1, fft_n), complex=True),
+                       arg((1, fft_n), complex=True)],
+            # Pilots are offset away from zero so the per-subcarrier
+            # division stays well conditioned for any seed.
+            make_inputs=lambda rng, fft_n=fft_n: [
+                _rand(rng, (1, fft_n), complex_valued=True),
+                _rand(rng, (1, fft_n), complex_valued=True) + 2.0],
+            tolerance=1e-7,
+        ),
+        Workload(
+            name="qr_gs",
+            entry="qr_gs",
+            description="QR factorization via modified Gram-Schmidt, "
+                        "12x12 (double)",
+            arg_types=[arg((12, 12))],
+            # Diagonal shift keeps the columns independent so the
+            # normalization never divides by a vanishing norm.
+            make_inputs=lambda rng: [
+                _rand(rng, (12, 12)) + 4.0 * np.eye(12)],
+            tolerance=1e-8,
+        ),
+        Workload(
+            name="inv3x3",
+            entry="inv3x3",
+            description=f"batched 3x3 inversion, {64 * scale} matrices "
+                        "in SoA layout (double)",
+            arg_types=[arg((9, 64 * scale))],
+            # Each column is a column-major 3x3 matrix; adding 4*I makes
+            # every matrix diagonally dominant, bounding dets away from 0.
+            make_inputs=lambda rng, t=64 * scale: [
+                _rand(rng, (9, t))
+                + 4.0 * np.tile(np.eye(3).reshape(9, 1, order="F"), (1, t))],
+            tolerance=1e-8,
+        ),
+        Workload(
+            name="bf_weights",
+            entry="bf_weights",
+            description=f"MRC beamforming weights, {64 * scale} antennas "
+                        "(complex double)",
+            arg_types=[arg((1, 64 * scale), complex=True), arg((1, 1))],
+            make_inputs=lambda rng, n=64 * scale: [
+                _rand(rng, (1, n), complex_valued=True),
+                np.array([[0.5]])],
+            tolerance=1e-9,
         ),
     ]
 

@@ -1,0 +1,25 @@
+function p = vec_power(v)
+% Squared 2-norm of a complex vector, accumulated by a
+% counter-bounded while loop (exact in every engine).
+n = length(v);
+p = 0;
+k = 1;
+while k <= n
+    p = p + real(v(k) * conj(v(k)));
+    k = k + 1;
+end
+end
+
+function [w, g] = bf_weights(h, sigma)
+% MRC beamforming weights with diagonal loading:
+% w = conj(h) / (||h||^2 + sigma), plus the array gain g — the
+% per-resource-block weight computation of a massive-MIMO combiner.
+n = length(h);
+p = vec_power(h);
+d = p + sigma;
+w = complex(zeros(1, n), zeros(1, n));
+for k = 1:n
+    w(k) = conj(h(k)) / d;
+end
+g = p / d;
+end

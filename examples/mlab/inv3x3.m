@@ -1,0 +1,30 @@
+function c = cof2(x, y, z, w)
+% Elementwise 2x2 determinant over a batch of matrices: each input is
+% a 1xT row slice, so one call computes the same cofactor for every
+% matrix in the batch.
+c = x .* y - z .* w;
+end
+
+function [b, dets] = inv3x3(a)
+% Batched adjugate-based 3x3 inversion in structure-of-arrays layout:
+% column t of the 9xT input holds matrix t in column-major order
+% (a11 a21 a31 a12 ... a33).  Every cofactor is a whole-row
+% elementwise op, so the batch dimension vectorizes end to end
+% (MIMO equalizer inner loop).
+t = size(a, 2);
+c1 = cof2(a(5, :), a(9, :), a(8, :), a(6, :));
+m12 = cof2(a(2, :), a(9, :), a(8, :), a(3, :));
+m13 = cof2(a(2, :), a(6, :), a(5, :), a(3, :));
+dets = a(1, :) .* c1 - a(4, :) .* m12 + a(7, :) .* m13;
+s = 1.0 ./ dets;
+b = zeros(9, t);
+b(1, :) = c1 .* s;
+b(2, :) = -m12 .* s;
+b(3, :) = m13 .* s;
+b(4, :) = -cof2(a(4, :), a(9, :), a(7, :), a(6, :)) .* s;
+b(5, :) = cof2(a(1, :), a(9, :), a(7, :), a(3, :)) .* s;
+b(6, :) = -cof2(a(1, :), a(6, :), a(4, :), a(3, :)) .* s;
+b(7, :) = cof2(a(4, :), a(8, :), a(7, :), a(5, :)) .* s;
+b(8, :) = -cof2(a(1, :), a(8, :), a(7, :), a(2, :)) .* s;
+b(9, :) = cof2(a(1, :), a(5, :), a(4, :), a(2, :)) .* s;
+end

@@ -1,0 +1,32 @@
+function s = col_dot(u, v, m, k, j)
+% Dot product of column k of u with column j of v, accumulated by a
+% counter-bounded while loop (exact in every engine).
+s = 0;
+i = 1;
+while i <= m
+    s = s + u(i, k) * v(i, j);
+    i = i + 1;
+end
+end
+
+function [q, r] = qr_gs(a)
+% QR factorization via modified Gram-Schmidt: q orthonormal, r upper
+% triangular, a = q*r.  The column-dot helper specializes once and is
+% called from two sites (q'q and q'a).
+m = size(a, 1);
+n = size(a, 2);
+q = a;
+r = zeros(n, n);
+for k = 1:n
+    r(k, k) = sqrt(col_dot(q, q, m, k, k));
+    for i = 1:m
+        q(i, k) = q(i, k) / r(k, k);
+    end
+    for j = k + 1:n
+        r(k, j) = col_dot(q, a, m, k, j);
+        for i = 1:m
+            q(i, j) = q(i, j) - r(k, j) * q(i, k);
+        end
+    end
+end
+end

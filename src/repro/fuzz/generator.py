@@ -9,8 +9,10 @@ Two modes:
 
 * ``compile`` — only constructs the compiler accepts: static shapes,
   preallocated arrays, scalar/vector/matrix arithmetic, ranges,
-  ``end``-relative indexing, for/while/if/switch, the builtin and
-  library inventory shared by the inferencer and the interpreter.
+  ``end``-relative indexing, for/while/if/switch, user-defined
+  subfunctions (single- and multi-return, called with scalar and
+  matrix arguments), the builtin and library inventory shared by the
+  inferencer and the interpreter.
 * ``interp`` — additionally exercises the golden interpreter's more
   permissive features that never reach codegen: growth-by-assignment
   (``g = []; g(k) = ...``), logical indexing, anonymous functions, and
@@ -103,6 +105,26 @@ class Info:
 
 
 @dataclass
+class SubFunction:
+    """One generated subfunction plus the facts call sites need.
+
+    ``kind`` is ``'expr'`` for a shape-polymorphic elementwise body
+    (call sites may pick any argument shape, so one program can force
+    several type specializations of the same function) or ``'stmt'``
+    for a fixed-signature body built from the full statement grammar
+    (while loops, branches, indexed stores).
+    """
+
+    name: str
+    kind: str
+    params: list[str]
+    param_infos: list[Info]
+    returns: list[str]
+    return_infos: list[Info]
+    node: ast.Function
+
+
+@dataclass
 class GeneratedProgram:
     """One generated program plus everything needed to execute it."""
 
@@ -188,6 +210,14 @@ class ProgramGenerator:
         self.max_stmts = max_stmts
         self.rng = random.Random(seed)
         self.env: dict[str, Info] = {}
+        #: Subfunctions available to call from the entry body, and the
+        #: subset that has actually been called so far.
+        self.subfns: list[SubFunction] = []
+        self._called: set[str] = set()
+        #: True while a subfunction body is being generated: no nested
+        #: user calls (the compiler rejects recursion, and call-in-call
+        #: chains add nothing the entry-level calls don't already test).
+        self._in_subfn = False
         #: Names that must never be written: parameters (emitted C
         #: passes them as const arrays) and live loop variables /
         #: while counters (reassignment breaks termination).
@@ -208,6 +238,9 @@ class ProgramGenerator:
         self._counter = 0
         entry = f"fz{self.seed & 0xFFFF}"
 
+        self.subfns = self._gen_subfunctions()
+        self._called = set()
+
         params: list[tuple[str, Info]] = []
         for index in range(rng.randint(1, 3)):
             info = self._random_param_info()
@@ -226,12 +259,22 @@ class ProgramGenerator:
             stmt = self._gen_stmt(depth=0)
             if stmt is not None:
                 body.extend(stmt)
+        # Every generated subfunction must be reached at least once, or
+        # the differential run would never execute it.
+        for sub in self.subfns:
+            if sub.name not in self._called:
+                body.extend(self._gen_call_to(sub))
 
         returns = self._pick_returns()
         func = ast.Function(span=_SPAN, name=entry,
                             params=[name for name, _ in params],
                             returns=returns, body=body)
-        program = ast.Program(span=_SPAN, functions=[func])
+        functions = [func] + [sub.node for sub in self.subfns]
+        if self.subfns and rng.random() < 0.5:
+            # Exercise entry-by-name selection: the entry function is
+            # not always first in the file.
+            rng.shuffle(functions)
+        program = ast.Program(span=_SPAN, functions=functions)
         source = to_source(program)
 
         param_specs = [(info.dtype, info.is_complex, info.rows, info.cols)
@@ -286,6 +329,8 @@ class ProgramGenerator:
         if depth < 2:
             makers += [(2, self._gen_if), (2, self._gen_for),
                        (1, self._gen_while), (1, self._gen_switch)]
+        if self.subfns and not self._in_subfn:
+            makers += [(3, self._gen_user_call)]
         if self.mode == "interp":
             makers += [(2, self._gen_growth), (1, self._gen_anon),
                        (1, self._gen_logical_index),
@@ -298,6 +343,7 @@ class ProgramGenerator:
                 return maker() if maker in (self._gen_new_assign,
                                             self._gen_reassign,
                                             self._gen_indexed_store,
+                                            self._gen_user_call,
                                             self._gen_growth,
                                             self._gen_anon,
                                             self._gen_logical_index,
@@ -505,7 +551,14 @@ class ProgramGenerator:
         counter = self._fresh("it")
         self.env[counter] = Info(1, 1)
         self.protected.add(counter)
-        limit = rng.randint(2, 5)
+        # The bound is either a small constant or length(vec) — shapes
+        # are static, so length() is a loop invariant and exact in
+        # every engine.
+        vec = self._pick_var(lambda i: i.is_vector)
+        if vec is not None and rng.random() < 0.4:
+            bound: ast.Expr = _call("length", _name(vec))
+        else:
+            bound = _num(rng.randint(2, 5))
         # Increment FIRST: a generated `continue` later in the body can
         # then never skip it (the classic infinite-while bug).
         body: list[ast.Stmt] = [
@@ -515,7 +568,7 @@ class ProgramGenerator:
         return [
             _assign(_name(counter), _num(0)),
             ast.While(span=_SPAN,
-                      condition=_bin("<", _name(counter), _num(limit)),
+                      condition=_bin("<", _name(counter), bound),
                       body=body),
         ]
 
@@ -529,6 +582,181 @@ class ProgramGenerator:
             if rng.random() < 0.5 else []
         return [ast.Switch(span=_SPAN, subject=subject, cases=cases,
                            otherwise=otherwise)]
+
+    # -- user-defined subfunctions --------------------------------------
+
+    def _gen_subfunctions(self) -> list[SubFunction]:
+        rng = self.rng
+        roll = rng.random()
+        count = 0 if roll < 0.35 else 1 if roll < 0.7 else 2
+        return [self._gen_one_subfn(index + 1) for index in range(count)]
+
+    def _gen_one_subfn(self, index: int) -> SubFunction:
+        name = f"sf{index}"
+        if self.rng.random() < 0.5:
+            return self._make_expr_subfn(name)
+        return self._make_stmt_subfn(name)
+
+    def _make_expr_subfn(self, name: str) -> SubFunction:
+        """A shape-polymorphic elementwise body: two same-shape params
+        combined with exact ops (+, -, .*) and quantized constants.
+        Call sites choose the argument shape, so two calls with
+        different shapes force two type specializations."""
+        rng = self.rng
+        body = [_assign(_name("r1"),
+                        _bin("+", _bin(".*", _name("a"),
+                                       _num(self._quantized())),
+                             _name("b")))]
+        returns = ["r1"]
+        if rng.random() < 0.6:
+            op = rng.choice(["+", "-", ".*"])
+            body.append(_assign(_name("r2"),
+                                _bin(op, _name("a"),
+                                     _bin(".*", _name("b"),
+                                          _num(self._quantized())))))
+            returns.append("r2")
+        node = ast.Function(span=_SPAN, name=name, params=["a", "b"],
+                            returns=returns, body=body)
+        return SubFunction(name=name, kind="expr", params=["a", "b"],
+                           param_infos=[], returns=returns,
+                           return_infos=[], node=node)
+
+    def _make_stmt_subfn(self, name: str) -> SubFunction:
+        """A fixed-signature body over the full statement grammar
+        (while loops, branches, indexed stores).  Its return-value
+        facts are recorded under the assumption that every argument is
+        exact; call sites therefore pass exact-only expressions, so
+        conditions inside the body that read parameters stay safe."""
+        rng = self.rng
+        saved_env, saved_prot = self.env, self.protected
+        saved_loop = self._in_loop
+        self.env, self.protected = {}, set()
+        self._in_loop = 0
+        self._in_subfn = True
+        try:
+            params: list[tuple[str, Info]] = []
+            for i in range(rng.randint(1, 3)):
+                info = self._random_param_info()
+                # Double-only parameters: call sites pass exact-only
+                # material, and a dtype cast would break exactness.
+                info = Info(info.rows, info.cols, "double",
+                            info.is_complex)
+                pname = f"a{i}"
+                self.env[pname] = info
+                self.protected.add(pname)
+                params.append((pname, info))
+            body: list[ast.Stmt] = []
+            body.extend(self._gen_new_assign())
+            target = rng.randint(2, 6)
+            guard = 0
+            while len(body) < target and guard < 4 * target:
+                guard += 1
+                stmt = self._gen_stmt(depth=1)
+                if stmt is not None:
+                    body.extend(stmt)
+            param_names = {pname for pname, _ in params}
+            candidates = sorted(n for n in self.env
+                                if n not in param_names)
+            rng.shuffle(candidates)
+            returns = sorted(candidates[:rng.randint(1, min(
+                2, len(candidates)))])
+            return_infos = [self.env[n] for n in returns]
+            node = ast.Function(span=_SPAN, name=name,
+                                params=[pname for pname, _ in params],
+                                returns=returns, body=body)
+            return SubFunction(name=name, kind="stmt",
+                               params=[pname for pname, _ in params],
+                               param_infos=[info for _, info in params],
+                               returns=returns, return_infos=return_infos,
+                               node=node)
+        finally:
+            self.env, self.protected = saved_env, saved_prot
+            self._in_loop = saved_loop
+            self._in_subfn = False
+
+    def _gen_user_call(self) -> "list[ast.Stmt] | None":
+        if not self.subfns:
+            return None
+        return self._gen_call_to(self.rng.choice(self.subfns))
+
+    def _gen_call_to(self, sub: SubFunction) -> list[ast.Stmt]:
+        rng = self.rng
+        if sub.kind == "expr":
+            args, arg_infos, result_infos = self._expr_call_signature(sub)
+        else:
+            args, arg_infos = [], []
+            for info in sub.param_infos:
+                expr, got = self._gen_expr(info.shape, info.is_complex,
+                                           depth=1, exact_only=True)
+                if not got.exact or got.dtype != "double":
+                    # The body's conditions may read this parameter, so
+                    # anything short of bit-exact double material is
+                    # replaced by a constant of the right shape.
+                    expr, got = self._exact_fallback(info)
+                args.append(expr)
+                arg_infos.append(got)
+            result_infos = [
+                Info(ret.rows, ret.cols, ret.dtype, ret.is_complex,
+                     ret.exact)
+                for ret in sub.return_infos]
+        call = ast.CallIndex(span=_SPAN, target=_name(sub.name),
+                             args=args)
+        self._called.add(sub.name)
+        if len(sub.returns) == 1 or rng.random() < 0.3:
+            # nargout=1: a plain assignment takes the first output only.
+            result = self._fresh()
+            self.env[result] = result_infos[0]
+            return [_assign(_name(result), call)]
+        targets: list[ast.Expr] = []
+        for index, info in enumerate(result_infos):
+            if index > 0 and rng.random() < 0.2:
+                targets.append(_name("~"))
+                continue
+            result = self._fresh()
+            self.env[result] = info
+            targets.append(_name(result))
+        return [ast.MultiAssign(span=_SPAN, targets=targets, value=call)]
+
+    def _exact_fallback(self, info: Info) -> tuple[ast.Expr, Info]:
+        """A bit-exact double expression of ``info``'s shape and
+        complexness, built from constants only."""
+        rows, cols = info.shape
+        if info.is_scalar:
+            base: ast.Expr = _num(self._quantized())
+        else:
+            base = _bin(".*", _call("ones", _num(rows), _num(cols)),
+                        _num(self._quantized()))
+        if info.is_complex:
+            base = _call("complex", base, base)
+        return base, Info(rows, cols, "double", info.is_complex, True)
+
+    def _expr_call_signature(self, sub: SubFunction):
+        """Pick a shape/dtype/complexness for one call to an ``expr``
+        subfunction and build matching arguments."""
+        rng = self.rng
+        donors = [i for i in self.env.values() if not i.is_scalar]
+        shape = rng.choice([(1, 1)] + [i.shape for i in donors]) \
+            if donors else rng.choice([(1, 1), (1, rng.randint(2, 5))])
+        dtype = "single" if rng.random() < 0.1 else "double"
+        args, arg_infos = [], []
+        for _ in sub.params:
+            cplx = dtype == "double" and rng.random() < 0.2 \
+                and self._has_complex_material()
+            expr, got = self._gen_expr(shape, cplx, depth=1)
+            if got.dtype != dtype:
+                expr = _call(dtype, expr)
+                got = Info(got.rows, got.cols, dtype, got.is_complex,
+                           exact=False)
+            args.append(expr)
+            arg_infos.append(got)
+        rows, cols = shape
+        is_complex = any(got.is_complex for got in arg_infos)
+        # The body mixes arguments with double constants, so results
+        # are exact only for all-exact double arguments.
+        exact = all(got.exact for got in arg_infos) and dtype == "double"
+        result_infos = [Info(rows, cols, dtype, is_complex, exact)
+                        for _ in sub.returns]
+        return args, arg_infos, result_infos
 
     def _gen_condition(self) -> ast.Expr:
         """A scalar condition built only from exact material."""

@@ -12,6 +12,9 @@ Reduction passes, applied to fixpoint:
   dead tails fastest);
 * hoist the body out of a compound statement (``if``/``for``/
   ``while``/``switch`` collapse to their then-branch / body run once);
+* drop subfunctions the entry no longer (transitively) references —
+  statement deletion routinely orphans generated ``sf1``/``sf2``
+  helpers, and a reproducer should not carry dead functions;
 * drop entry-point parameters the shrunken body no longer mentions
   (with the matching argument spec and input value);
 * drop return values, keeping at least one.
@@ -57,6 +60,34 @@ def _function(program: ast.Program, entry: str) -> ast.Function:
         if func.name == entry:
             return func
     return program.functions[0]
+
+
+def _drop_dead_subfunctions(
+        program: GeneratedProgram) -> "GeneratedProgram | None":
+    """Remove functions the entry never (transitively) references.
+
+    Liveness is by identifier mention, which over-approximates calls —
+    that is deliberate: a name used as a zero-argument call is an
+    ``Identifier`` node, and keeping too much is harmless while
+    dropping a reachable callee would be rejected by the oracle run
+    anyway.  Returns ``None`` when every function is live.
+    """
+    tree = parse(program.source)
+    entry = _function(tree, program.entry).name
+    by_name = {f.name: f for f in tree.functions}
+    live = {entry}
+    queue = [entry]
+    while queue:
+        used: set = set()
+        _identifiers(by_name[queue.pop()].body, used)
+        for name in sorted(used & set(by_name) - live):
+            live.add(name)
+            queue.append(name)
+    if live >= set(by_name):
+        return None
+    functions = [f for f in tree.functions if f.name in live]
+    source = to_source(ast.Program(span=tree.span, functions=functions))
+    return replace(program, source=source)
 
 
 def _rebuild(program: GeneratedProgram, func: ast.Function,
@@ -120,7 +151,14 @@ def reduce_program(program: GeneratedProgram, verdict: Verdict,
         if changed:
             continue
 
-        # 2. drop unused parameters.
+        # 2. drop subfunctions the shrunken entry no longer reaches.
+        candidate = _drop_dead_subfunctions(current)
+        if candidate is not None and budget.matches(candidate, key):
+            current = candidate
+            changed = True
+            continue
+
+        # 3. drop unused parameters.
         used: set = set()
         _identifiers(func.body, used)
         for index in range(len(func.params) - 1, -1, -1):
@@ -144,7 +182,7 @@ def reduce_program(program: GeneratedProgram, verdict: Verdict,
         if changed:
             continue
 
-        # 3. drop return values (keep one).
+        # 4. drop return values (keep one).
         for index in range(len(func.returns) - 1, -1, -1):
             if len(func.returns) <= 1:
                 break

@@ -1379,6 +1379,20 @@ class _FunctionLowerer:
         ir_type = from_mtype(self.mtype_of(expr))
         if not isinstance(ir_type, ArrayType):
             raise LoweringError("internal: expected an array-typed node")
+        if isinstance(expr, ast.Identifier) and \
+                self.spec.final_env.lookup(expr.name) is not None:
+            # The C buffer is declared at the flow-merged type; a read
+            # where the variable is currently real can still sit in
+            # complex (or wider) storage because a later branch assigns
+            # complex into it.  Loads must carry the storage element
+            # type — consumers coerce to the flow type, which for
+            # complex storage at a real program point takes the real
+            # part (the imaginary part is zero there by construction).
+            # The flow shape is kept: loop extents follow the value,
+            # not the (maximal) buffer.
+            stored = self.var_ir_type(expr.name)
+            if isinstance(stored, ArrayType) and stored.elem != ir_type.elem:
+                return ArrayType(stored.elem, ir_type.rows, ir_type.cols)
         return ir_type
 
     def _materialize(self, expr: ast.Expr) -> str:
@@ -2491,6 +2505,14 @@ class _FunctionLowerer:
                 self.fn.declare(tmp, from_mtype(rt))
                 result_names.append(tmp)
         results = list(result_names[:len(result_types)])
+        # nargout < number of returns (``v = f(...)`` on a multi-return
+        # function): the call still carries every output so the callee's
+        # calling convention is uniform — unused outputs get throwaway
+        # caller buffers and die in DCE when the callee is inlined.
+        for rt in result_types[len(results):]:
+            tmp = self.temp("unused")
+            self.fn.declare(tmp, from_mtype(rt))
+            results.append(tmp)
         result_set = set(results)
 
         args: list[ir.Expr | str] = []

@@ -66,13 +66,21 @@ class _HandleValue:
 class MatlabInterpreter:
     """Interprets a parsed program (or raw source text)."""
 
+    #: User-call nesting bound.  Deep enough for any legitimate helper
+    #: chain in the supported subset, shallow enough that runaway
+    #: recursion surfaces as a sourced diagnostic instead of a Python
+    #: RecursionError.
+    MAX_CALL_DEPTH = 64
+
     def __init__(self, program: "ast.Program | str"):
+        self._source_text = program if isinstance(program, str) else None
         if isinstance(program, str):
             program = parse(program)
         self.program = program
         self.functions: dict[str, ast.Function] = {
             f.name: f for f in program.functions}
         self.stdout = io.StringIO()
+        self._call_depth = 0
         # id -> (original kept alive, rewritten clone)
         self._end_cache: dict[int, tuple[ast.Expr, ast.Expr]] = {}
 
@@ -111,14 +119,26 @@ class MatlabInterpreter:
             raise InterpreterError(
                 f"{func.name}: too many arguments ({len(args)} for "
                 f"{len(func.params)})")
+        if self._call_depth >= self.MAX_CALL_DEPTH:
+            where = ""
+            if self._source_text is not None:
+                line = self._source_text.count("\n", 0, func.span.start) + 1
+                where = f"{func.span.filename}:{line}: "
+            raise InterpreterError(
+                f"{where}call depth limit ({self.MAX_CALL_DEPTH}) exceeded "
+                f"in {func.name!r} — recursive user functions are not "
+                "supported")
         env: dict[str, object] = {}
         for param, value in zip(func.params, args):
             if param != "~":
                 env[param] = value
+        self._call_depth += 1
         try:
             self._exec_body(func.body, env)
         except _ReturnFunction:
             pass
+        finally:
+            self._call_depth -= 1
         results: list[object] = []
         for out in func.returns[:max(nargout, 1)]:
             if out not in env:
@@ -242,6 +262,11 @@ class MatlabInterpreter:
         value = to_value(value)
         if np.iscomplexobj(value) and not np.iscomplexobj(array):
             array = array.astype(np.complex128)
+        else:
+            # MATLAB value semantics: `q = a; q(i,j) = x` must never write
+            # through into `a`.  Plain assignment aliases, so copy before
+            # the in-place store below.
+            array = array.copy()
         args = target.args
         if len(args) == 1:
             return self._linear_store(array, args[0], value, env)

@@ -135,7 +135,9 @@ class Inferencer:
                 if problem is not None:
                     self.error(problem, func.span)
         if func is None:
-            raise SemanticError(f"unknown function {name!r}")
+            defined = ", ".join(sorted(self.registry.functions))
+            hint = f" (defined functions: {defined})" if defined else ""
+            raise SemanticError(f"unknown function {name!r}{hint}")
         key = _signature_key(name, arg_types)
         if key in self.specialized:
             return self.specialized[key]
@@ -143,9 +145,9 @@ class Inferencer:
             self.unsupported(
                 f"recursive call to {name!r} is not supported", func.span)
         if len(arg_types) != len(func.params):
-            raise SemanticError(
+            self.error(
                 f"function {name!r} expects {len(func.params)} argument(s), "
-                f"got {len(arg_types)}")
+                f"got {len(arg_types)}", func.span)
         self._in_progress.add(key)
         try:
             spec = SpecializedFunction(func=func, mangled_name=key, arg_types=list(arg_types))

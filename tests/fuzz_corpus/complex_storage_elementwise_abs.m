@@ -1,0 +1,9 @@
+function y = f(z, c)
+  v = sin(z);
+  if c > 0
+    v = fix(abs(v));
+  else
+    v = single(complex(z, z));
+  end
+  y = real(v(2));
+end

@@ -1,0 +1,5 @@
+function [q, a] = f()
+  a = [1, 2; 3, 4];
+  q = a;
+  q(1, 2) = 53;
+end

@@ -1,0 +1,9 @@
+function y = f(x)
+  v = two(x, x);
+  y = v + 1;
+end
+
+function [r1, r2] = two(a, b)
+  r1 = a + b;
+  r2 = a - b;
+end

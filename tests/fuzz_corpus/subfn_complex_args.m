@@ -1,0 +1,8 @@
+function y = f(z)
+  m = mag2(z);
+  y = sum(m);
+end
+
+function r = mag2(w)
+  r = real(w .* conj(w));
+end

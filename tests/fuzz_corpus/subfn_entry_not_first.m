@@ -1,0 +1,7 @@
+function r = helper(v)
+  r = v .* v;
+end
+
+function y = f(x)
+  y = sum(helper(x));
+end

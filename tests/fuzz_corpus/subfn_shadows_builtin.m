@@ -1,0 +1,7 @@
+function y = f(x)
+  y = sum(x);
+end
+
+function s = sum(v)
+  s = v(1) .* 100;
+end

@@ -1,0 +1,9 @@
+function y = f(x)
+  [~, d] = two(x, x);
+  y = sum(d);
+end
+
+function [s, d] = two(a, b)
+  s = a + b;
+  d = a - (b .* 0.5);
+end

@@ -1,0 +1,9 @@
+function y = f(a, b)
+  u = axpy(a, a);
+  w = axpy(b, b);
+  y = sum(u) + w;
+end
+
+function r = axpy(p, q)
+  r = (p .* 2) + q;
+end

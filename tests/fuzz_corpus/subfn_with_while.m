@@ -1,0 +1,12 @@
+function y = f(x, n)
+  y = geo(x, n);
+end
+
+function s = geo(v, n)
+  s = 0;
+  k = 1;
+  while k <= n
+    s = s + sum(v) ./ (2 .^ k);
+    k = k + 1;
+  end
+end

@@ -1,0 +1,8 @@
+function s = f(v)
+  s = 0;
+  k = 1;
+  while k <= length(v)
+    s = s + v(k) .* k;
+    k = k + 1;
+  end
+end

@@ -1,0 +1,12 @@
+function b = f(a)
+  b = a;
+  i = 1;
+  while i <= 2
+    j = 1;
+    while j <= 3
+      b(i, j) = b(i, j) .* i + j;
+      j = j + 1;
+    end
+    i = i + 1;
+  end
+end

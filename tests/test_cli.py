@@ -350,6 +350,65 @@ def test_internal_error_exits_3(fir_file, capsys, monkeypatch):
 
 
 # ---------------------------------------------------------------------
+# --entry selection (multi-function files)
+# ---------------------------------------------------------------------
+
+MULTI_FN = """
+function r = helper(v)
+r = v .* v;
+end
+
+function y = main_kernel(x)
+y = sum(helper(x));
+end
+"""
+
+
+@pytest.fixture
+def multi_fn_file(tmp_path):
+    path = tmp_path / "multi.m"
+    path.write_text(MULTI_FN)
+    return path
+
+
+def test_entry_not_first_compiles(multi_fn_file, capsys):
+    assert main([str(multi_fn_file), "--args", "double:1x4",
+                 "--entry", "main_kernel", "-o", "/dev/null"]) == 0
+
+
+def test_entry_not_first_simulates(multi_fn_file, capsys):
+    assert main([str(multi_fn_file), "--args", "double:1x4",
+                 "--entry", "main_kernel", "--simulate"]) == 0
+    out = capsys.readouterr().out
+    assert "main_kernel" in out
+
+
+def test_default_entry_is_first_function(multi_fn_file, capsys):
+    # Without --entry the first function ('helper') is compiled.
+    assert main([str(multi_fn_file), "--args", "double:1x4",
+                 "--simulate"]) == 0
+    out = capsys.readouterr().out
+    assert "helper" in out
+
+
+def test_unknown_entry_is_failure_with_hint(multi_fn_file, capsys):
+    assert main([str(multi_fn_file), "--args", "double:1x4",
+                 "--entry", "nope", "-o", "/dev/null"]) == 1
+    err = capsys.readouterr().err
+    assert "unknown function 'nope'" in err
+    assert "helper" in err and "main_kernel" in err
+    assert "Traceback" not in err
+
+
+def test_entry_arity_mismatch_is_failure(multi_fn_file, capsys):
+    assert main([str(multi_fn_file), "--args", "double:1x4,double:1x4",
+                 "--entry", "main_kernel", "-o", "/dev/null"]) == 1
+    err = capsys.readouterr().err
+    assert "expects 1 argument(s), got 2" in err
+    assert "Traceback" not in err
+
+
+# ---------------------------------------------------------------------
 # repro-fuzz exit codes and --jobs
 # ---------------------------------------------------------------------
 

@@ -1,0 +1,268 @@
+"""User-defined functions: specialization, diagnostics, 5G kernels.
+
+Three groups of guards for the user-function tier:
+
+* the four 5G/DSP kernels that exercise subfunctions and while loops
+  (channel_est, qr_gs, inv3x3, bf_weights) agree across the golden
+  interpreter, both simulator backends, and — where gcc is present —
+  the native tier;
+* malformed programs are rejected with diagnostics that carry source
+  positions: recursion, arity mismatch, unknown functions;
+* behavioral pins: per-call-site specialization mangles distinct
+  signatures apart, nargout=1 calls of multi-return functions keep
+  only the first value, user functions shadow builtins, and the
+  interpreter's call-depth limit fires with a sourced message.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from helpers import (assert_outputs_close, check_program, compile_both,
+                     golden_outputs, requires_gcc)
+from repro.compiler import arg, compile_source
+from repro.errors import (InterpreterError, SemanticError,
+                          UnsupportedFeatureError)
+from repro.mlab.interp import MatlabInterpreter
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+from workloads import workload_by_name  # noqa: E402
+
+NEW_KERNELS = ["channel_est", "qr_gs", "inv3x3", "bf_weights"]
+
+
+# ---------------------------------------------------------------------------
+# 5G/DSP kernels through every tier
+
+
+@pytest.mark.parametrize("kernel", NEW_KERNELS)
+def test_kernel_agrees_interpreter_and_simulators(kernel):
+    workload = workload_by_name(kernel)
+    inputs = workload.inputs(seed=11)
+    check_program(workload.source, workload.arg_types, inputs,
+                  entry=workload.entry, tol=workload.tolerance)
+
+
+@requires_gcc
+@pytest.mark.parametrize("kernel", NEW_KERNELS)
+def test_kernel_agrees_native(kernel):
+    workload = workload_by_name(kernel)
+    inputs = workload.inputs(seed=11)
+    golden = workload.golden(inputs)
+    result = compile_source(workload.source, args=workload.arg_types,
+                            entry=workload.entry)
+    native = result.simulate(list(inputs), backend="native")
+    assert_outputs_close(native.outputs[0], golden,
+                         max(workload.tolerance, 1e-7),
+                         f"{kernel} native output")
+
+
+def test_kernel_functions_emit_strict_ansi_c():
+    """Subfunctions survive to the C level (or inline away) without
+    leaking MATLAB names: the generated unit compiles standalone."""
+    workload = workload_by_name("qr_gs")
+    result = compile_source(workload.source, args=workload.arg_types,
+                            entry=workload.entry)
+    source = result.c_source()
+    assert "col_dot" in source or "inl" in source
+    assert "//" not in source.split("/*", 1)[0]
+
+
+# ---------------------------------------------------------------------------
+# Sourced diagnostics
+
+
+def test_compiler_rejects_recursion_with_position():
+    src = """function y = f(x)
+y = g(x);
+end
+
+function r = g(v)
+r = g(v) + 1;
+end
+"""
+    with pytest.raises(UnsupportedFeatureError,
+                       match=r"<string>:5:1: recursive call to 'g'"):
+        compile_source(src, args=[arg((1, 3))], entry="f")
+
+
+def test_compiler_rejects_mutual_recursion():
+    src = """function y = f(x)
+y = g(x);
+end
+
+function r = g(v)
+r = h(v);
+end
+
+function r = h(v)
+r = g(v) .* 2;
+end
+"""
+    with pytest.raises(UnsupportedFeatureError, match="recursive call"):
+        compile_source(src, args=[arg((1, 3))], entry="f")
+
+
+def test_compiler_rejects_arity_mismatch_with_position():
+    src = """function y = f(x)
+y = g(x);
+end
+
+function r = g(a, b)
+r = a + b;
+end
+"""
+    with pytest.raises(SemanticError,
+                       match=r"<string>:5:1: function 'g' expects 2 "
+                             r"argument\(s\), got 1"):
+        compile_source(src, args=[arg((1, 3))], entry="f")
+
+
+def test_compiler_unknown_call_is_sourced():
+    src = """function y = f(x)
+y = missing_fn(x);
+end
+
+function r = helper(v)
+r = v;
+end
+"""
+    with pytest.raises(SemanticError,
+                       match=r"<string>:2:5: undefined variable or "
+                             r"function 'missing_fn'"):
+        compile_source(src, args=[arg((1, 3))], entry="f")
+
+
+def test_unknown_entry_lists_defined_functions():
+    src = """function y = f(x)
+y = x;
+end
+
+function r = helper(v)
+r = v;
+end
+"""
+    with pytest.raises(SemanticError,
+                       match=r"unknown function 'nope'.*defined "
+                             r"functions: f, helper"):
+        compile_source(src, args=[arg((1, 3))], entry="nope")
+
+
+def test_interpreter_call_depth_limit_is_sourced():
+    src = """function y = f(x)
+y = f(x) + 1;
+end
+"""
+    with pytest.raises(InterpreterError,
+                       match=r"<string>:1: call depth limit \(64\) "
+                             r"exceeded in 'f'"):
+        golden_outputs(src, "f", [np.ones((1, 3))])
+
+
+# ---------------------------------------------------------------------------
+# Behavioral pins
+
+
+def test_specialization_mangles_signatures_apart():
+    src = """function y = f(a, b)
+u = scale(a);
+v = scale(b);
+y = sum(u) + v;
+end
+
+function r = scale(p)
+r = p .* 2;
+end
+"""
+    optimized, _ = compile_both(
+        src, [arg((1, 4)), arg((1, 1))], entry="f")
+    keys = sorted(optimized.sprog.functions)
+    assert "scale$double_1x4" in keys
+    assert "scale$double_1x1" in keys
+    # The entry itself is specialized under its own signature.
+    assert any(key.startswith("f$") for key in keys)
+
+
+def test_nargout_one_takes_first_return():
+    src = """function y = f(x)
+v = two(x);
+y = sum(v);
+end
+
+function [dbl, neg] = two(a)
+dbl = a .* 2;
+neg = -a;
+end
+"""
+    x = np.array([[1.0, 2.0, 3.0]])
+    check_program(src, [arg((1, 3))], [x], entry="f")
+    outputs = golden_outputs(src, "f", [x])
+    assert np.asarray(outputs[0]).item() == 12.0
+
+
+def test_multi_return_order_and_tilde():
+    src = """function [s, d] = f(x)
+[s, d] = sumdiff(x, x .* 0.5);
+end
+
+function [a, b] = sumdiff(u, v)
+a = sum(u + v);
+b = sum(u - v);
+end
+"""
+    x = np.array([[2.0, 4.0]])
+    _, outputs = check_program(src, [arg((1, 2))], [x], entry="f",
+                               nargout=2)
+    assert np.asarray(outputs[0]).item() == 9.0
+    assert np.asarray(outputs[1]).item() == 3.0
+
+
+def test_user_function_shadows_builtin_in_both_tiers():
+    src = """function y = f(x)
+y = sum(x);
+end
+
+function s = sum(v)
+s = v(1) .* 100;
+end
+"""
+    x = np.array([[1.0, 2.0, 3.0, 4.0]])
+    _, outputs = check_program(src, [arg((1, 4))], [x], entry="f")
+    assert np.asarray(outputs[0]).item() == 100.0
+    interp_out = golden_outputs(src, "f", [x])
+    assert np.asarray(interp_out[0]).item() == 100.0
+
+
+def test_while_loop_with_length_bound_matches():
+    src = """function s = f(v)
+s = 0;
+k = 1;
+while k <= length(v)
+  s = s + v(k) .* k;
+  k = k + 1;
+end
+end
+"""
+    v = np.array([[1.0, -2.0, 0.5, 4.0]])
+    _, outputs = check_program(src, [arg((1, 4))], [v], entry="f")
+    expected = sum(v[0, k] * (k + 1) for k in range(4))
+    assert np.asarray(outputs[0]).item() == pytest.approx(expected)
+
+
+def test_interpreter_multi_return_nargout_clipping():
+    """nargout between 1 and the declared return count keeps a prefix."""
+    src = """function [a, b, c] = f(x)
+a = x + 1;
+b = x + 2;
+c = x + 3;
+end
+"""
+    interp = MatlabInterpreter(src)
+    two = interp.call("f", [5.0], nargout=2)
+    assert len(two) == 2
+    assert np.asarray(two[0]).item() == 6.0
+    assert np.asarray(two[1]).item() == 7.0

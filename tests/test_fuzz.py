@@ -163,6 +163,49 @@ def test_reducer_drops_unused_params():
     assert len(small.param_specs) == 1
 
 
+def test_reducer_drops_orphaned_subfunctions():
+    prog = GeneratedProgram(
+        source=("function y = f(x)\n"
+                "  v1 = sf1(x);\n"
+                "  y = x + 1;\n"
+                "end\n"
+                "\n"
+                "function r = sf1(a)\n"
+                "  r = a .* 2;\n"
+                "end\n"
+                "\n"
+                "function r = sf2(a)\n"
+                "  r = a - 1;\n"
+                "end\n"),
+        entry="f", mode="compile", seed=0,
+        param_specs=[("double", False, 1, 1)],
+        input_values=[[1.5]], nargout=1, returns=["y"])
+    oracle = _marker_oracle("y = ")
+    small = reduce_program(prog, oracle.run(prog), oracle=oracle)
+    # sf2 was never called; sf1 becomes dead once 'v1 = sf1(x)' is
+    # deleted — both must be gone from the reproducer.
+    assert "sf2" not in small.source
+    assert "sf1" not in small.source
+    assert "y = " in small.source
+
+
+def test_reducer_keeps_reachable_subfunctions():
+    prog = GeneratedProgram(
+        source=("function y = f(x)\n"
+                "  y = sf1(x);\n"
+                "end\n"
+                "\n"
+                "function r = sf1(a)\n"
+                "  r = a .* 2;\n"
+                "end\n"),
+        entry="f", mode="compile", seed=0,
+        param_specs=[("double", False, 1, 1)],
+        input_values=[[1.5]], nargout=1, returns=["y"])
+    oracle = _marker_oracle("sf1(x)")
+    small = reduce_program(prog, oracle.run(prog), oracle=oracle)
+    assert "function r = sf1(a)" in small.source
+
+
 def test_reproducer_roundtrip(tmp_path):
     prog = ProgramGenerator(3).generate()
     verdict = Verdict(status="divergence", engine="compiled",
